@@ -1,0 +1,48 @@
+/// Figure 5: fraction of packets that experience preemption events and of
+/// hop traversals wasted to replay, on the adversarial Workloads 1 and 2.
+/// Each preemption of a packet counts as a separate event; MECS hop counts
+/// are normalized to mesh-equivalent hops by communication distance.
+///
+/// Options: fast=1, gencycles=<generation horizon>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/experiments.h"
+
+using namespace taqos;
+
+int
+main(int argc, char **argv)
+{
+    const OptionMap opts(argc, argv);
+    benchutil::header("Preemption incidence on adversarial workloads",
+                      "Figure 5(a) Workload 1, Figure 5(b) Workload 2 "
+                      "(Sec. 5.3)");
+
+    Cycle gen = static_cast<Cycle>(opts.getInt("gencycles", 100000));
+    if (opts.getBool("fast", false))
+        gen = 30000;
+
+    for (int w = 1; w <= 2; ++w) {
+        std::printf("--- Workload %d ---\n", w);
+        TextTable t;
+        t.setHeader({"topology", "packets preempted", "hops replayed"});
+        for (const auto &row : runAdversarial(w, gen)) {
+            t.addRow({topologyName(row.topology),
+                      benchutil::pct(row.preemptedPacketsPct),
+                      benchutil::pct(row.replayedHopsPct)});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+    std::printf(
+        "Paper expectations (W1): replicated meshes worst (>24%% hops "
+        "replayed —\nflows on parallel channels thrash converging at the "
+        "destination);\nmesh_x1/DPS fewest replayed hops (~9%%), MECS close "
+        "(~10%%) with its hop\nfraction equal to its packet fraction (rich "
+        "buffers: victims discarded\nafter fully arriving). (W2): mesh_x1 "
+        "and DPS preemptions drop sharply;\nreplicated meshes stay high; "
+        "MECS sees only a slight increase.\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+/// Figure 6: cost of preemptions — completion-time slowdown relative to a
+/// preemption-free per-flow-queueing network on identical traffic, and the
+/// per-source deviation from the max-min-fair expected throughput.
+///
+/// Options: fast=1, gencycles=<generation horizon>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/experiments.h"
+
+using namespace taqos;
+
+int
+main(int argc, char **argv)
+{
+    const OptionMap opts(argc, argv);
+    benchutil::header(
+        "Preemption impact: slowdown and deviation from max-min fairness",
+        "Figure 6(a) Workload 1, Figure 6(b) Workload 2 (Sec. 5.3)");
+
+    Cycle gen = static_cast<Cycle>(opts.getInt("gencycles", 100000));
+    if (opts.getBool("fast", false))
+        gen = 30000;
+
+    for (int w = 1; w <= 2; ++w) {
+        std::printf("--- Workload %d ---\n", w);
+        TextTable t;
+        t.setHeader({"topology", "slowdown", "avg deviation",
+                     "deviation range"});
+        for (const auto &row : runAdversarial(w, gen)) {
+            t.addRow({topologyName(row.topology),
+                      benchutil::pct(row.slowdownPct),
+                      benchutil::pct(row.avgDeviationPct),
+                      strFormat("[%+.2f%%, %+.2f%%]", row.minDeviationPct,
+                                row.maxDeviationPct)});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+    std::printf(
+        "Paper expectations: slowdown under ~5%% everywhere — preemptions\n"
+        "barely affect completion time; average deviation from the max-min\n"
+        "expectation under ~1%%; DPS shows the tightest per-source "
+        "deviation\nrange on Workload 1.\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/// Google-benchmark microbenchmarks: simulator cycle throughput per
+/// topology, router arbitration cost, RNG, and max-min allocation — the
+/// performance envelope of the library itself.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/experiments.h"
+#include "core/maxmin.h"
+#include "sim/column_sim.h"
+#include "traffic/workloads.h"
+
+using namespace taqos;
+
+namespace {
+
+void
+BM_SimCycles(benchmark::State &state)
+{
+    const auto kind = static_cast<TopologyKind>(state.range(0));
+    const ColumnConfig col = paperColumn(kind);
+    TrafficConfig traffic;
+    traffic.pattern = TrafficPattern::UniformRandom;
+    traffic.injectionRate = 0.08;
+    ColumnSim sim(col, traffic);
+    sim.run(2000); // warm the pipes
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(topologyName(kind));
+}
+
+void
+BM_SimHotspotCycles(benchmark::State &state)
+{
+    const auto kind = static_cast<TopologyKind>(state.range(0));
+    const ColumnConfig col = paperColumn(kind);
+    const TrafficConfig traffic = makeHotspotAll(col, 0.05);
+    ColumnSim sim(col, traffic);
+    sim.run(2000);
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(topologyName(kind));
+}
+
+void
+BM_Rng(benchmark::State &state)
+{
+    Rng rng(42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.nextU64());
+}
+
+void
+BM_MaxMin(benchmark::State &state)
+{
+    std::vector<double> demands(static_cast<std::size_t>(state.range(0)));
+    for (std::size_t i = 0; i < demands.size(); ++i)
+        demands[i] = 0.01 + 0.001 * static_cast<double>(i % 37);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(maxMinAllocation(demands, 1.0));
+}
+
+void
+BM_BuildColumn(benchmark::State &state)
+{
+    const auto kind = static_cast<TopologyKind>(state.range(0));
+    for (auto _ : state) {
+        ColumnConfig col = paperColumn(kind);
+        benchmark::DoNotOptimize(ColumnNetwork::build(col));
+    }
+    state.SetLabel(topologyName(kind));
+}
+
+} // namespace
+
+BENCHMARK(BM_SimCycles)->DenseRange(0, 4);
+BENCHMARK(BM_SimHotspotCycles)->DenseRange(0, 4);
+BENCHMARK(BM_Rng);
+BENCHMARK(BM_MaxMin)->Arg(64)->Arg(1024);
+BENCHMARK(BM_BuildColumn)->DenseRange(0, 4);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+/// Table 2: relative per-flow throughput under the hotspot workload — all
+/// 64 injectors stream to the node-0 terminal; PVC must hand every flow an
+/// equal share of the single ejection link.
+///
+/// Options: fast=1 (shorter run), cycles=<measure window>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/experiments.h"
+
+using namespace taqos;
+
+int
+main(int argc, char **argv)
+{
+    const OptionMap opts(argc, argv);
+    benchutil::header(
+        "Relative throughput of flows on the hotspot workload (flits)",
+        "Table 2 (Sec. 5.3)");
+
+    Cycle measure = static_cast<Cycle>(opts.getInt("cycles", 280000));
+    if (opts.getBool("fast", false))
+        measure = 60000;
+
+    TextTable t;
+    t.setHeader({"topology", "mean", "min (% of mean)", "max (% of mean)",
+                 "std dev (% of mean)", "preemptions"});
+    for (const auto &row : runTable2Fairness(measure)) {
+        t.addRow({topologyName(row.topology),
+                  benchutil::num(row.meanFlits, 1),
+                  strFormat("%.0f (%.1f%%)", row.minFlits, row.minPct()),
+                  strFormat("%.0f (%.1f%%)", row.maxFlits, row.maxPct()),
+                  strFormat("%.1f (%.2f%%)", row.stddevFlits,
+                            row.stddevPct()),
+                  strFormat("%llu",
+                            static_cast<unsigned long long>(
+                                row.preemptions))});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf(
+        "Paper expectations: all topologies fair (max deviation <= ~2%%);\n"
+        "MECS tightest (std dev ~0.1%%); preemption rate very low — the\n"
+        "reserved quota covers virtually all packets when every source\n"
+        "transmits at its provisioned share.\n\nCSV:\n%s",
+        t.renderCsv().c_str());
+    return 0;
+}

@@ -1,0 +1,126 @@
+#include "chip/allocator.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace taqos {
+
+DomainAllocator::DomainAllocator(const ChipConfig &chip)
+    : chip_(chip),
+      free_(static_cast<std::size_t>(chip.numNodes()), true)
+{
+    for (int i = 0; i < chip_.numNodes(); ++i) {
+        if (chip_.isSharedNode(chip_.coordOf(i)))
+            free_[static_cast<std::size_t>(i)] = false;
+    }
+}
+
+bool
+DomainAllocator::isFree(NodeCoord c) const
+{
+    return chip_.inGrid(c) && free_[static_cast<std::size_t>(chip_.nodeIndex(c))];
+}
+
+int
+DomainAllocator::freeNodes() const
+{
+    int n = 0;
+    for (bool f : free_)
+        n += f;
+    return n;
+}
+
+bool
+DomainAllocator::rectUsable(NodeCoord origin, int w, int h) const
+{
+    for (int y = origin.y; y < origin.y + h; ++y) {
+        for (int x = origin.x; x < origin.x + w; ++x) {
+            if (!isFree(NodeCoord{x, y}))
+                return false;
+        }
+    }
+    return true;
+}
+
+void
+DomainAllocator::markRect(const Domain &d, bool free)
+{
+    for (const auto &c : d.nodes()) {
+        const auto idx = static_cast<std::size_t>(chip_.nodeIndex(c));
+        TAQOS_ASSERT(free_[idx] != free, "double alloc/free at %s",
+                     coordName(c).c_str());
+        free_[idx] = free;
+    }
+}
+
+std::optional<Domain>
+DomainAllocator::allocate(int domainId, int numNodes)
+{
+    TAQOS_ASSERT(numNodes > 0, "empty domain requested");
+    TAQOS_ASSERT(find(domainId) == nullptr, "domain %d already exists",
+                 domainId);
+
+    // Candidate shapes ordered by waste, then by squareness (compact
+    // domains keep communication local).
+    struct Shape {
+        int w, h, waste, elong;
+    };
+    std::vector<Shape> shapes;
+    for (int w = 1; w <= chip_.nodesX(); ++w) {
+        const int h = (numNodes + w - 1) / w;
+        if (h > chip_.nodesY())
+            continue;
+        shapes.push_back(Shape{w, h, w * h - numNodes, std::abs(w - h)});
+        if (h != w && w * h - numNodes < h) // transposed variant
+            shapes.push_back(Shape{h, w, w * h - numNodes, std::abs(w - h)});
+    }
+    std::sort(shapes.begin(), shapes.end(), [](const Shape &a, const Shape &b) {
+        if (a.waste != b.waste)
+            return a.waste < b.waste;
+        if (a.elong != b.elong)
+            return a.elong < b.elong;
+        return a.w < b.w;
+    });
+
+    for (const auto &s : shapes) {
+        if (s.h > chip_.nodesY() || s.w > chip_.nodesX())
+            continue;
+        for (int y = 0; y + s.h <= chip_.nodesY(); ++y) {
+            for (int x = 0; x + s.w <= chip_.nodesX(); ++x) {
+                const NodeCoord origin{x, y};
+                if (!rectUsable(origin, s.w, s.h))
+                    continue;
+                Domain d = makeRectDomain(domainId, origin, s.w, s.h);
+                markRect(d, false);
+                domains_.push_back(d);
+                return d;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+const Domain *
+DomainAllocator::find(int domainId) const
+{
+    for (const auto &d : domains_)
+        if (d.id() == domainId)
+            return &d;
+    return nullptr;
+}
+
+bool
+DomainAllocator::release(int domainId)
+{
+    for (std::size_t i = 0; i < domains_.size(); ++i) {
+        if (domains_[i].id() == domainId) {
+            markRect(domains_[i], true);
+            domains_.erase(domains_.begin() + static_cast<long>(i));
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace taqos

@@ -1,0 +1,45 @@
+/// \file allocator.h
+/// OS-level placement: carve convex (rectangular) domains out of the
+/// compute-node grid, never overlapping a shared column. Rectangles are
+/// trivially convex, so every intra-domain XY route stays inside the
+/// domain (Sec. 2.2's requirement).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "chip/domain.h"
+#include "chip/geometry.h"
+
+namespace taqos {
+
+class DomainAllocator {
+  public:
+    explicit DomainAllocator(const ChipConfig &chip);
+
+    /// Allocate a convex domain of at least `numNodes` compute nodes.
+    /// Picks the rectangle shape with the least waste that fits in the
+    /// current free map (first-fit scan). Returns nullopt when no
+    /// placement exists.
+    std::optional<Domain> allocate(int domainId, int numNodes);
+
+    /// Release a domain's nodes. Returns false if the id is unknown.
+    bool release(int domainId);
+
+    const std::vector<Domain> &domains() const { return domains_; }
+    const Domain *find(int domainId) const;
+
+    int freeNodes() const;
+    bool isFree(NodeCoord c) const;
+    const ChipConfig &chip() const { return chip_; }
+
+  private:
+    bool rectUsable(NodeCoord origin, int w, int h) const;
+    void markRect(const Domain &d, bool free);
+
+    ChipConfig chip_;
+    std::vector<bool> free_; ///< by node index; shared columns never free
+    std::vector<Domain> domains_;
+};
+
+} // namespace taqos

@@ -1,0 +1,75 @@
+#include "chip/chip_cost.h"
+
+#include "power/tech.h"
+#include "topo/geometry.h"
+
+namespace taqos {
+
+RouterGeometry
+mainNetworkRouterGeometry(const ChipConfig &chip, bool qosEnabled)
+{
+    RouterGeometry geom;
+    geom.name = qosEnabled ? "main_qos" : "main";
+    geom.flitBits = 128;
+
+    // A 2-D MECS router: up to nodesX-1 row inputs and nodesY-1 column
+    // inputs, each buffered; 4 VCs per port in the main network (shorter
+    // round trips than the shared column's express provisioning), plus
+    // one reserved VC when PVC rides along.
+    const int rowPorts = chip.nodesX() - 1;
+    const int colPorts = chip.nodesY() - 1;
+    const int vcs = qosEnabled ? 5 : 4;
+    geom.columnBuffers.push_back(BufferGroup{rowPorts + colPorts, vcs, 4});
+    // Terminal injection staging for the concentrated terminals.
+    geom.rowBuffers.push_back(BufferGroup{chip.terminalsPerNode(), 1, 4});
+
+    // Asymmetric MECS switch: 4 direction groups + concentrated terminals.
+    geom.xbarInputs = 4 + chip.terminalsPerNode();
+    geom.xbarOutputs = 4 + chip.terminalsPerNode();
+
+    if (qosEnabled) {
+        // PVC state scales with the number of nodes on the chip.
+        geom.flowTableFlows = chip.numNodes();
+        geom.flowTableOutputs = geom.xbarOutputs;
+        geom.flowCounterBits = 24;
+    }
+    return geom;
+}
+
+ChipCostReport
+chipCostComparison(const ChipConfig &chip, TopologyKind sharedTopology)
+{
+    const TechParams tech = tech32nm();
+
+    const RouterGeometry mainQos = mainNetworkRouterGeometry(chip, true);
+    const RouterGeometry mainPlain = mainNetworkRouterGeometry(chip, false);
+    const AreaBreakdown areaQos = computeRouterArea(mainQos, tech);
+    const AreaBreakdown areaPlain = computeRouterArea(mainPlain, tech);
+
+    ColumnConfig col;
+    col.topology = sharedTopology;
+    col.numNodes = chip.nodesY();
+    GeometryOptions qosOn;
+    const AreaBreakdown sharedArea = computeRouterArea(
+        representativeGeometry(sharedTopology, col, qosOn), tech);
+
+    const int sharedNodes =
+        static_cast<int>(chip.sharedColumns.size()) * chip.nodesY();
+    const int computeNodes = chip.numNodes() - sharedNodes;
+
+    ChipCostReport report;
+    // Baseline: every router carries QOS hardware; shared columns as
+    // configured.
+    report.qosEverywhereMm2 =
+        computeNodes * areaQos.totalMm2() + sharedNodes * sharedArea.totalMm2();
+    // Topology-aware: compute routers shed flow state and reserved VCs.
+    report.topologyAwareMm2 = computeNodes * areaPlain.totalMm2() +
+                              sharedNodes * sharedArea.totalMm2();
+    report.flowStateSavedMm2 =
+        computeNodes * (areaQos.flowStateMm2 - areaPlain.flowStateMm2);
+    report.buffersSavedMm2 =
+        computeNodes * (areaQos.buffersMm2() - areaPlain.buffersMm2());
+    return report;
+}
+
+} // namespace taqos

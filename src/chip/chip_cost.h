@@ -1,0 +1,43 @@
+/// \file chip_cost.h
+/// Chip-level cost comparison: hardware QOS at every router (the Fig. 1(a)
+/// baseline) versus the topology-aware scheme (QOS only inside the shared
+/// columns, Fig. 1(b)). Quantifies the paper's "significant savings in
+/// router cost and complexity" claim.
+#pragma once
+
+#include "chip/geometry.h"
+#include "power/router_power.h"
+#include "topo/topology.h"
+
+namespace taqos {
+
+struct ChipCostReport {
+    /// Total router area with PVC hardware at all 64 nodes (mm^2).
+    double qosEverywhereMm2 = 0.0;
+    /// Total router area with QOS only in the shared columns.
+    double topologyAwareMm2 = 0.0;
+    /// Flow-state area removed from the compute region.
+    double flowStateSavedMm2 = 0.0;
+    /// Buffer area removed (reserved VCs dropped outside shared regions).
+    double buffersSavedMm2 = 0.0;
+
+    double savingsPct() const
+    {
+        return qosEverywhereMm2 <= 0.0
+            ? 0.0
+            : 100.0 * (qosEverywhereMm2 - topologyAwareMm2) /
+                  qosEverywhereMm2;
+    }
+};
+
+/// Geometry of a main-network (2-D MECS) router, with or without QOS
+/// hardware.
+RouterGeometry mainNetworkRouterGeometry(const ChipConfig &chip,
+                                         bool qosEnabled);
+
+/// Compare total router cost of the two provisioning strategies, with the
+/// shared columns built in `sharedTopology`.
+ChipCostReport chipCostComparison(const ChipConfig &chip,
+                                  TopologyKind sharedTopology);
+
+} // namespace taqos

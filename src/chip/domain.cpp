@@ -1,0 +1,103 @@
+#include "chip/domain.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace taqos {
+
+Domain::Domain(int id, std::vector<NodeCoord> nodes)
+    : id_(id), nodes_(std::move(nodes))
+{
+}
+
+bool
+Domain::contains(NodeCoord c) const
+{
+    return std::find(nodes_.begin(), nodes_.end(), c) != nodes_.end();
+}
+
+void
+Domain::addNode(NodeCoord c)
+{
+    if (!contains(c))
+        nodes_.push_back(c);
+}
+
+bool
+Domain::isConvex() const
+{
+    if (nodes_.empty())
+        return true;
+
+    // Turn-node closure: for any two members, the XY turn (b.x, a.y) must
+    // be a member. (This also forces row/column interval contiguity when
+    // combined with itself: if (x1,y) and (x2,y) are members then for any
+    // member (xm, y2), closure pulls in the needed intermediates — but
+    // gaps inside a row would still pass closure, so check contiguity
+    // explicitly too.)
+    for (const auto &a : nodes_) {
+        for (const auto &b : nodes_) {
+            if (!contains(NodeCoord{b.x, a.y}))
+                return false;
+        }
+    }
+
+    // Row and column contiguity (no holes along any axis).
+    for (const auto &a : nodes_) {
+        for (const auto &b : nodes_) {
+            if (a.y == b.y) {
+                const int lo = std::min(a.x, b.x);
+                const int hi = std::max(a.x, b.x);
+                for (int x = lo; x <= hi; ++x) {
+                    if (!contains(NodeCoord{x, a.y}))
+                        return false;
+                }
+            }
+            if (a.x == b.x) {
+                const int lo = std::min(a.y, b.y);
+                const int hi = std::max(a.y, b.y);
+                for (int y = lo; y <= hi; ++y) {
+                    if (!contains(NodeCoord{a.x, y}))
+                        return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+bool
+Domain::xyRouteInside(NodeCoord a, NodeCoord b) const
+{
+    TAQOS_ASSERT(contains(a) && contains(b),
+                 "route endpoints must be domain members");
+    // XY dimension order: along the row of `a` to b.x, then along the
+    // column of b.x to b.y.
+    const int stepX = b.x >= a.x ? 1 : -1;
+    for (int x = a.x; x != b.x + stepX; x += stepX) {
+        if (!contains(NodeCoord{x, a.y}))
+            return false;
+    }
+    const int stepY = b.y >= a.y ? 1 : -1;
+    for (int y = a.y; y != b.y + stepY; y += stepY) {
+        if (!contains(NodeCoord{b.x, y}))
+            return false;
+    }
+    return true;
+}
+
+Domain
+makeRectDomain(int id, NodeCoord origin, int width, int height)
+{
+    TAQOS_ASSERT(width > 0 && height > 0, "degenerate rectangle");
+    std::vector<NodeCoord> nodes;
+    nodes.reserve(static_cast<std::size_t>(width) *
+                  static_cast<std::size_t>(height));
+    for (int y = origin.y; y < origin.y + height; ++y)
+        for (int x = origin.x; x < origin.x + width; ++x)
+            nodes.push_back(NodeCoord{x, y});
+    return Domain(id, std::move(nodes));
+}
+
+} // namespace taqos

@@ -1,0 +1,60 @@
+/// \file geometry.h
+/// Full-chip geometry of the target system (Sec. 2.1): a 256-tile CMP with
+/// 4-way concentration — an 8x8 grid of network nodes, each integrating
+/// four terminals — interconnected by MECS, with one or more columns
+/// dedicated to shared resources (memory controllers, accelerators).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace taqos {
+
+/// A network node position in the 8x8 grid.
+struct NodeCoord {
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const NodeCoord &o) const = default;
+};
+
+struct ChipConfig {
+    int tilesX = 16;
+    int tilesY = 16;
+    int concentration = 4; ///< terminals per network node (Balfour & Dally)
+
+    /// Grid columns dedicated to shared resources (QOS-protected).
+    std::vector<int> sharedColumns = {4};
+
+    /// Physical pitch of one concentrated node (mm) — for wire energy.
+    double nodePitchMm = 2.5;
+
+    int nodesX() const;
+    int nodesY() const;
+    int numNodes() const { return nodesX() * nodesY(); }
+    int terminalsPerNode() const { return concentration; }
+    int numTiles() const { return tilesX * tilesY; }
+
+    bool inGrid(NodeCoord c) const;
+    bool isSharedColumn(int x) const;
+    bool isSharedNode(NodeCoord c) const { return isSharedColumn(c.x); }
+
+    /// Compute nodes (non-shared) available to domains.
+    int computeNodes() const;
+
+    int nodeIndex(NodeCoord c) const { return c.y * nodesX() + c.x; }
+    NodeCoord coordOf(int index) const
+    {
+        return NodeCoord{index % nodesX(), index / nodesX()};
+    }
+
+    /// Nearest shared column to grid column `x` (ties broken toward lower
+    /// x). Asserts at least one shared column exists.
+    int nearestSharedColumn(int x) const;
+};
+
+std::string coordName(NodeCoord c);
+
+} // namespace taqos

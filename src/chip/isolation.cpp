@@ -1,0 +1,46 @@
+#include "chip/isolation.h"
+
+#include "common/assert.h"
+
+namespace taqos {
+
+IsolationAuditor::ChannelKey
+IsolationAuditor::keyOf(const ChannelHop &hop) const
+{
+    TAQOS_ASSERT(hop.from.x == hop.to.x || hop.from.y == hop.to.y,
+                 "diagonal channel hop");
+    int direction;
+    if (hop.horizontal())
+        direction = hop.to.x > hop.from.x ? 0 : 1; // E / W
+    else
+        direction = hop.to.y > hop.from.y ? 2 : 3; // S / N
+    return ChannelKey{chip_.nodeIndex(hop.from), direction};
+}
+
+void
+IsolationAuditor::addRoute(int domainId, const Route &route)
+{
+    for (const auto &hop : route.hops)
+        use_[keyOf(hop)].insert(domainId);
+}
+
+std::vector<IsolationAuditor::Violation>
+IsolationAuditor::audit() const
+{
+    std::vector<Violation> violations;
+    for (const auto &[key, domains] : use_) {
+        if (domains.size() < 2)
+            continue;
+        const NodeCoord owner = chip_.coordOf(key.ownerIndex);
+        if (chip_.isSharedNode(owner))
+            continue; // QOS hardware arbitrates fairly here
+        Violation v;
+        v.channelOwner = owner;
+        v.horizontal = key.direction <= 1;
+        v.domains.assign(domains.begin(), domains.end());
+        violations.push_back(std::move(v));
+    }
+    return violations;
+}
+
+} // namespace taqos

@@ -1,0 +1,58 @@
+/// \file isolation.h
+/// The scheme's central security/performance-isolation property: outside
+/// the QOS-protected shared columns, no MECS channel may carry traffic of
+/// two different domains. A MECS channel is driven by exactly one node;
+/// two domains share it only when both route traffic that *originates a
+/// hop* at that node — e.g. an inter-VM transfer turning dimensions inside
+/// another VM's domain (the VM#1 -> VM#3 via VM#2 example of Sec. 2.2).
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "chip/geometry.h"
+#include "chip/routing.h"
+
+namespace taqos {
+
+class IsolationAuditor {
+  public:
+    explicit IsolationAuditor(const ChipConfig &chip) : chip_(chip) {}
+
+    /// Register that `domainId`'s traffic uses `route`.
+    void addRoute(int domainId, const Route &route);
+
+    struct Violation {
+        NodeCoord channelOwner; ///< node driving the shared channel
+        bool horizontal = false;
+        std::vector<int> domains; ///< distinct domains on the channel
+    };
+
+    /// Channels outside shared columns carrying >= 2 domains.
+    std::vector<Violation> audit() const;
+
+    /// Convenience: does the registered traffic satisfy isolation?
+    bool isolated() const { return audit().empty(); }
+
+    void clear() { use_.clear(); }
+
+  private:
+    struct ChannelKey {
+        int ownerIndex;
+        int direction; ///< 0..3: E,W,S,N
+
+        bool operator<(const ChannelKey &o) const
+        {
+            return ownerIndex != o.ownerIndex ? ownerIndex < o.ownerIndex
+                                              : direction < o.direction;
+        }
+    };
+
+    ChannelKey keyOf(const ChannelHop &hop) const;
+
+    ChipConfig chip_;
+    std::map<ChannelKey, std::set<int>> use_;
+};
+
+} // namespace taqos

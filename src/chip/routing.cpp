@@ -1,0 +1,128 @@
+#include "chip/routing.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/assert.h"
+#include "power/tech.h"
+#include "power/wire_model.h"
+
+namespace taqos {
+
+int
+ChannelHop::span() const
+{
+    return std::abs(to.x - from.x) + std::abs(to.y - from.y);
+}
+
+int
+Route::totalSpan() const
+{
+    int span = 0;
+    for (const auto &hop : hops)
+        span += hop.span();
+    return span;
+}
+
+int
+Route::routerTraversals() const
+{
+    // Source router plus one router entered per channel traversal
+    // (express channels skip everything in between).
+    return static_cast<int>(hops.size()) + 1;
+}
+
+bool
+Route::passesThrough(NodeCoord c) const
+{
+    for (const auto &hop : hops) {
+        if (hop.horizontal()) {
+            if (c.y != hop.from.y)
+                continue;
+            const int lo = std::min(hop.from.x, hop.to.x);
+            const int hi = std::max(hop.from.x, hop.to.x);
+            if (c.x >= lo && c.x <= hi)
+                return true;
+        } else {
+            if (c.x != hop.from.x)
+                continue;
+            const int lo = std::min(hop.from.y, hop.to.y);
+            const int hi = std::max(hop.from.y, hop.to.y);
+            if (c.y >= lo && c.y <= hi)
+                return true;
+        }
+    }
+    return false;
+}
+
+Route
+MecsRouter::routeXY(NodeCoord src, NodeCoord dst) const
+{
+    TAQOS_ASSERT(chip_.inGrid(src) && chip_.inGrid(dst),
+                 "route endpoints off-grid");
+    Route route;
+    NodeCoord cur = src;
+    if (dst.x != cur.x) {
+        const NodeCoord turn{dst.x, cur.y};
+        route.hops.push_back(ChannelHop{cur, turn});
+        cur = turn;
+    }
+    if (dst.y != cur.y)
+        route.hops.push_back(ChannelHop{cur, dst});
+    return route;
+}
+
+Route
+MecsRouter::routeToSharedColumn(NodeCoord src, int mcRow) const
+{
+    const int col = chip_.nearestSharedColumn(src.x);
+    return routeXY(src, NodeCoord{col, mcRow});
+}
+
+Route
+MecsRouter::routeInterDomain(NodeCoord src, NodeCoord dst) const
+{
+    const int col = chip_.nearestSharedColumn(src.x);
+    Route route;
+    NodeCoord cur = src;
+    // Row hop into the shared column (skipped if already there).
+    if (cur.x != col) {
+        const NodeCoord entry{col, cur.y};
+        route.hops.push_back(ChannelHop{cur, entry});
+        cur = entry;
+    }
+    // QOS-protected column hop to the destination row.
+    if (cur.y != dst.y) {
+        const NodeCoord exit{col, dst.y};
+        route.hops.push_back(ChannelHop{cur, exit});
+        cur = exit;
+    }
+    // Row hop out to the destination (possibly doubling back — the
+    // non-minimal case Sec. 2.2 accepts for inter-VM transfers).
+    if (cur.x != dst.x)
+        route.hops.push_back(ChannelHop{cur, dst});
+    return route;
+}
+
+double
+MecsRouter::latencyCycles(const Route &route, int packetFlits) const
+{
+    TAQOS_ASSERT(packetFlits > 0, "empty packet");
+    // MECS router pipeline: 3 stages; wire: 1 cycle per node pitch;
+    // serialization paid once at the final hop (virtual cut-through).
+    const double routerCycles = 3.0 * route.routerTraversals();
+    const double wireCycles = static_cast<double>(route.totalSpan());
+    return routerCycles + wireCycles + (packetFlits - 1);
+}
+
+double
+MecsRouter::wireEnergyPj(const Route &route, int packetFlits,
+                         int flitBits) const
+{
+    TAQOS_ASSERT(packetFlits > 0 && flitBits > 0, "empty packet");
+    const WireModel wire(tech32nm());
+    const double mm = route.totalSpan() * chip_.nodePitchMm;
+    return wire.energyPj(flitBits, mm) * packetFlits;
+}
+
+} // namespace taqos

@@ -1,0 +1,67 @@
+/// \file routing.h
+/// MECS route computation on the full chip. A MECS channel is driven by
+/// exactly one node and multi-drops at every node it passes in one
+/// direction, so a route is a sequence of channel traversals (at most one
+/// per dimension under XY dimension-order routing). Inter-domain traffic
+/// is forced through a QOS-protected shared column (Sec. 2.2), which may
+/// make its route non-minimal.
+#pragma once
+
+#include <vector>
+
+#include "chip/geometry.h"
+
+namespace taqos {
+
+/// One traversal of a MECS channel: from `from` to `to` along a single
+/// dimension, on the channel owned (driven) by `from`.
+struct ChannelHop {
+    NodeCoord from;
+    NodeCoord to;
+
+    bool horizontal() const { return from.y == to.y; }
+    int span() const;
+};
+
+struct Route {
+    std::vector<ChannelHop> hops;
+
+    int totalSpan() const;               ///< wire distance in node pitches
+    int routerTraversals() const;        ///< routers entered (hops + 1)
+    bool passesThrough(NodeCoord c) const;
+};
+
+class MecsRouter {
+  public:
+    explicit MecsRouter(const ChipConfig &chip) : chip_(chip) {}
+
+    /// Plain XY dimension-order route (intra-domain traffic, memory
+    /// traffic to a shared column in the same row).
+    Route routeXY(NodeCoord src, NodeCoord dst) const;
+
+    /// Memory access: single row hop into the nearest shared column, then
+    /// the QOS-protected column to the memory controller's row.
+    Route routeToSharedColumn(NodeCoord src, int mcRow) const;
+
+    /// Inter-domain (inter-VM) route: must transit a shared column so all
+    /// cross-domain contention happens under QOS protection. The route is
+    /// row hop into the column, column hop to the destination row, row hop
+    /// to the destination — possibly non-minimal.
+    Route routeInterDomain(NodeCoord src, NodeCoord dst) const;
+
+    /// Latency estimate in cycles for a route: per-channel serialization +
+    /// wire + router pipelines (MECS: 3-stage routers, 1 cycle per node
+    /// pitch of wire).
+    double latencyCycles(const Route &route, int packetFlits) const;
+
+    /// Wire energy of moving a packet over the route (pJ), using the
+    /// chip's node pitch and the 32 nm repeated-wire model. Router-level
+    /// energies come from power/router_power.h.
+    double wireEnergyPj(const Route &route, int packetFlits,
+                        int flitBits = 128) const;
+
+  private:
+    ChipConfig chip_;
+};
+
+} // namespace taqos

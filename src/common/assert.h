@@ -1,0 +1,26 @@
+/// \file assert.h
+/// Always-on invariant checks. Simulator correctness depends on flow-control
+/// invariants (credits, VC occupancy); violating one silently would corrupt
+/// every downstream statistic, so these stay enabled in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define TAQOS_ASSERT(cond, ...)                                              \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            std::fprintf(stderr, "TAQOS_ASSERT failed at %s:%d: %s\n",       \
+                         __FILE__, __LINE__, #cond);                         \
+            std::fprintf(stderr, "  " __VA_ARGS__);                          \
+            std::fprintf(stderr, "\n");                                      \
+            std::abort();                                                    \
+        }                                                                    \
+    } while (0)
+
+#define TAQOS_UNREACHABLE(msg)                                               \
+    do {                                                                     \
+        std::fprintf(stderr, "TAQOS_UNREACHABLE at %s:%d: %s\n", __FILE__,   \
+                     __LINE__, msg);                                         \
+        std::abort();                                                        \
+    } while (0)

@@ -1,0 +1,52 @@
+#include "common/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace taqos {
+namespace {
+
+LogLevel gLevel = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::None: return "none";
+      case LogLevel::Error: return "error";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Info: return "info";
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Trace: return "trace";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
+
+void
+logAt(LogLevel level, const char *fmt, ...)
+{
+    if (level > gLevel || level == LogLevel::None)
+        return;
+    std::fprintf(stderr, "[taqos:%s] ", levelName(level));
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace taqos

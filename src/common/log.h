@@ -1,0 +1,25 @@
+/// \file log.h
+/// Minimal leveled logging. The simulator is silent by default; examples
+/// and debugging sessions raise the level.
+#pragma once
+
+#include <string>
+
+namespace taqos {
+
+enum class LogLevel { None = 0, Error, Warn, Info, Debug, Trace };
+
+/// Global log threshold (messages above the threshold are dropped).
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Emit a message at the given level (printf-style).
+void logAt(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace taqos
+
+#define TAQOS_LOG_ERROR(...) ::taqos::logAt(::taqos::LogLevel::Error, __VA_ARGS__)
+#define TAQOS_LOG_WARN(...) ::taqos::logAt(::taqos::LogLevel::Warn, __VA_ARGS__)
+#define TAQOS_LOG_INFO(...) ::taqos::logAt(::taqos::LogLevel::Info, __VA_ARGS__)
+#define TAQOS_LOG_DEBUG(...) ::taqos::logAt(::taqos::LogLevel::Debug, __VA_ARGS__)

@@ -1,0 +1,133 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace taqos {
+
+void
+RunningStat::push(double x)
+{
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStat::clear()
+{
+    *this = RunningStat{};
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double bucketWidth, std::size_t numBuckets)
+    : bucketWidth_(bucketWidth), buckets_(numBuckets, 0)
+{
+    TAQOS_ASSERT(bucketWidth > 0.0 && numBuckets > 0,
+                 "histogram needs positive geometry");
+}
+
+void
+Histogram::add(double x)
+{
+    ++count_;
+    if (x < 0)
+        x = 0;
+    const auto idx = static_cast<std::size_t>(x / bucketWidth_);
+    if (idx >= buckets_.size())
+        ++overflow_;
+    else
+        ++buckets_[idx];
+}
+
+void
+Histogram::clear()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    count_ = 0;
+}
+
+double
+Histogram::percentile(double q) const
+{
+    TAQOS_ASSERT(q >= 0.0 && q <= 1.0, "percentile out of range");
+    if (count_ == 0)
+        return 0.0;
+    const double target = q * static_cast<double>(count_);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const double next = cum + static_cast<double>(buckets_[i]);
+        if (next >= target && buckets_[i] > 0) {
+            const double frac = (target - cum) / static_cast<double>(buckets_[i]);
+            return (static_cast<double>(i) + frac) * bucketWidth_;
+        }
+        cum = next;
+    }
+    return bucketWidth_ * static_cast<double>(buckets_.size());
+}
+
+std::string
+Histogram::render(std::size_t maxRows) const
+{
+    std::string out;
+    std::uint64_t peak = overflow_;
+    for (auto b : buckets_)
+        peak = std::max(peak, b);
+    if (peak == 0)
+        return "(empty)\n";
+    const std::size_t rows = std::min(maxRows, buckets_.size());
+    char line[160];
+    for (std::size_t i = 0; i < rows; ++i) {
+        const int bar =
+            static_cast<int>(40.0 * static_cast<double>(buckets_[i]) /
+                             static_cast<double>(peak));
+        std::snprintf(line, sizeof line, "[%7.1f,%7.1f) %10llu %s\n",
+                      bucketWidth_ * static_cast<double>(i),
+                      bucketWidth_ * static_cast<double>(i + 1),
+                      static_cast<unsigned long long>(buckets_[i]),
+                      std::string(static_cast<std::size_t>(bar), '#').c_str());
+        out += line;
+    }
+    if (overflow_ > 0) {
+        std::snprintf(line, sizeof line, "[overflow)        %10llu\n",
+                      static_cast<unsigned long long>(overflow_));
+        out += line;
+    }
+    return out;
+}
+
+} // namespace taqos

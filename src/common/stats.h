@@ -1,0 +1,70 @@
+/// \file stats.h
+/// Streaming statistics used by the measurement layer: Welford running
+/// moments, bucketed latency histograms, and simple rate counters.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace taqos {
+
+/// Single-pass mean / min / max / variance accumulator (Welford).
+class RunningStat {
+  public:
+    void push(double x);
+    void clear();
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    /// Population variance (paper reports std dev over the 64 flows, a
+    /// complete population, not a sample).
+    double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+    double stddev() const;
+    double sum() const { return sum_; }
+
+    /// Merge another accumulator into this one (parallel sweeps).
+    void merge(const RunningStat &other);
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+    double sum_ = 0.0;
+};
+
+/// Fixed-width bucket histogram with an overflow bucket; used for packet
+/// latency distributions.
+class Histogram {
+  public:
+    Histogram(double bucketWidth, std::size_t numBuckets);
+
+    void add(double x);
+    void clear();
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    std::uint64_t overflow() const { return overflow_; }
+    double bucketWidth() const { return bucketWidth_; }
+
+    /// Value below which fraction q of samples fall (linear interpolation
+    /// within the containing bucket). q in [0, 1].
+    double percentile(double q) const;
+
+    /// Multi-line textual rendering for reports.
+    std::string render(std::size_t maxRows = 20) const;
+
+  private:
+    double bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace taqos

@@ -1,0 +1,113 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace taqos {
+
+std::string
+strFormat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    const int need = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out;
+    if (need > 0) {
+        out.resize(static_cast<std::size_t>(need));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    }
+    va_end(args);
+    return out;
+}
+
+std::vector<std::string>
+strSplit(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = s.find(sep, start);
+        if (pos == std::string::npos) {
+            out.push_back(s.substr(start));
+            return out;
+        }
+        out.push_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string
+strTrim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::string
+strLower(const std::string &s)
+{
+    std::string out = s;
+    for (auto &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+OptionMap::OptionMap(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const std::size_t eq = arg.find('=');
+        if (eq == std::string::npos)
+            kv_[strTrim(arg)] = "1";
+        else
+            kv_[strTrim(arg.substr(0, eq))] = strTrim(arg.substr(eq + 1));
+    }
+}
+
+bool
+OptionMap::has(const std::string &key) const
+{
+    return kv_.count(key) > 0;
+}
+
+std::string
+OptionMap::get(const std::string &key, const std::string &dflt) const
+{
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : it->second;
+}
+
+std::int64_t
+OptionMap::getInt(const std::string &key, std::int64_t dflt) const
+{
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double
+OptionMap::getDouble(const std::string &key, double dflt) const
+{
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+OptionMap::getBool(const std::string &key, bool dflt) const
+{
+    const auto it = kv_.find(key);
+    if (it == kv_.end())
+        return dflt;
+    const std::string v = strLower(it->second);
+    return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+} // namespace taqos

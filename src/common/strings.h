@@ -1,0 +1,46 @@
+/// \file strings.h
+/// Small string utilities: printf-style formatting, splitting, trimming,
+/// and a `key=value` command-line option parser used by examples/benches.
+#pragma once
+
+#include <cstdarg>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace taqos {
+
+/// printf-style formatting into a std::string.
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Split on a single character; empty fields preserved.
+std::vector<std::string> strSplit(const std::string &s, char sep);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string strTrim(const std::string &s);
+
+/// Lower-case ASCII copy.
+std::string strLower(const std::string &s);
+
+/// Parses argv of the form `key=value ...` (plus bare flags, stored with
+/// value "1"). Unknown keys are kept; callers validate what they consume.
+class OptionMap {
+  public:
+    OptionMap() = default;
+    OptionMap(int argc, char **argv);
+
+    bool has(const std::string &key) const;
+    std::string get(const std::string &key, const std::string &dflt) const;
+    std::int64_t getInt(const std::string &key, std::int64_t dflt) const;
+    double getDouble(const std::string &key, double dflt) const;
+    bool getBool(const std::string &key, bool dflt) const;
+
+    const std::map<std::string, std::string> &raw() const { return kv_; }
+
+  private:
+    std::map<std::string, std::string> kv_;
+};
+
+} // namespace taqos

@@ -1,0 +1,118 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace taqos {
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (!header_.empty()) {
+        TAQOS_ASSERT(row.size() == header_.size(),
+                     "row width %zu != header width %zu", row.size(),
+                     header_.size());
+    }
+    rows_.push_back(Row{std::move(row), false});
+}
+
+void
+TextTable::addRule()
+{
+    rows_.push_back(Row{{}, true});
+}
+
+std::size_t
+TextTable::numRows() const
+{
+    std::size_t n = 0;
+    for (const auto &row : rows_)
+        n += !row.rule;
+    return n;
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute column widths over header + all rows.
+    std::vector<std::size_t> width;
+    const auto grow = [&width](const std::vector<std::string> &cells) {
+        if (cells.size() > width.size())
+            width.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row.cells);
+
+    std::size_t total = width.empty() ? 0 : 3 * (width.size() - 1);
+    for (auto w : width)
+        total += w;
+
+    const auto renderCells = [&width](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t i = 0; i < width.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            line += cell;
+            line.append(width[i] - cell.size(), ' ');
+            if (i + 1 < width.size())
+                line += " | ";
+        }
+        // Trim trailing spaces.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out;
+    if (!title_.empty())
+        out += title_ + "\n";
+    if (!header_.empty()) {
+        out += renderCells(header_);
+        out += std::string(total, '-') + "\n";
+    }
+    for (const auto &row : rows_) {
+        if (row.rule)
+            out += std::string(total, '-') + "\n";
+        else
+            out += renderCells(row.cells);
+    }
+    return out;
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    const auto renderCells = [](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            std::string cell = cells[i];
+            if (cell.find(',') != std::string::npos) {
+                cell.insert(cell.begin(), '"');
+                cell.push_back('"');
+            }
+            line += cell;
+            if (i + 1 < cells.size())
+                line += ",";
+        }
+        return line + "\n";
+    };
+
+    std::string out;
+    if (!header_.empty())
+        out += renderCells(header_);
+    for (const auto &row : rows_)
+        if (!row.rule)
+            out += renderCells(row.cells);
+    return out;
+}
+
+} // namespace taqos

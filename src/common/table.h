@@ -1,0 +1,44 @@
+/// \file table.h
+/// ASCII table and CSV rendering for benchmark reports. Every bench binary
+/// prints the same rows/series the paper's table or figure reports, using
+/// this formatter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace taqos {
+
+/// Column-aligned text table with an optional title; also exports CSV so
+/// figure series can be re-plotted.
+class TextTable {
+  public:
+    explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+    /// Set the header row (defines the column count).
+    void setHeader(std::vector<std::string> header);
+
+    /// Append a data row; must match the header width if one was set.
+    void addRow(std::vector<std::string> row);
+
+    /// Convenience: separator line between row groups.
+    void addRule();
+
+    std::string render() const;
+    std::string renderCsv() const;
+
+    /// Number of data rows (rules excluded).
+    std::size_t numRows() const;
+
+  private:
+    struct Row {
+        std::vector<std::string> cells;
+        bool rule = false;
+    };
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+} // namespace taqos

@@ -1,0 +1,31 @@
+/// \file types.h
+/// Fundamental scalar types shared by every taqos module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace taqos {
+
+/// Simulation time, in router clock cycles.
+using Cycle = std::uint64_t;
+
+/// Index of a network node inside the shared region (0..numNodes-1).
+using NodeId = std::int32_t;
+
+/// Identity of a traffic flow. A flow corresponds to one injector
+/// (terminal or row input); flow ids are globally unique in a column.
+using FlowId = std::int32_t;
+
+/// Unique id for a packet instance (stable across retransmissions).
+using PacketId = std::uint64_t;
+
+/// Sentinel for "no cycle" / "not yet happened".
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/// Sentinel for invalid ids.
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr FlowId kInvalidFlow = -1;
+inline constexpr PacketId kInvalidPacket = std::numeric_limits<PacketId>::max();
+
+} // namespace taqos

@@ -1,0 +1,253 @@
+#include "core/experiments.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/stats.h"
+#include "core/maxmin.h"
+#include "power/tech.h"
+#include "sim/column_sim.h"
+#include "topo/geometry.h"
+#include "traffic/workloads.h"
+
+namespace taqos {
+
+ColumnConfig
+paperColumn(TopologyKind kind, QosMode mode)
+{
+    ColumnConfig col;
+    col.topology = kind;
+    col.mode = mode;
+    return col;
+}
+
+std::vector<AreaRow>
+runFig3Area()
+{
+    const TechParams tech = tech32nm();
+    std::vector<AreaRow> rows;
+    for (auto kind : kAllTopologies) {
+        const ColumnConfig col = paperColumn(kind);
+        const RouterGeometry geom = representativeGeometry(kind, col);
+        rows.push_back(AreaRow{kind, computeRouterArea(geom, tech)});
+    }
+    return rows;
+}
+
+std::vector<LatencySeries>
+runFig4Latency(TrafficPattern pattern, const std::vector<double> &rates,
+               const RunPhases &phases)
+{
+    std::vector<LatencySeries> series;
+    for (auto kind : kAllTopologies) {
+        LatencySeries s;
+        s.topology = kind;
+        for (double rate : rates) {
+            const ColumnConfig col = paperColumn(kind);
+            TrafficConfig traffic;
+            traffic.pattern = pattern;
+            traffic.injectionRate = rate;
+            ColumnSim sim(col, traffic);
+            sim.setMeasureWindow(phases.warmup, phases.measureEnd());
+            sim.run(phases.total());
+
+            const SimMetrics &m = sim.metrics();
+            LatencyPoint p;
+            p.injectionRate = rate;
+            p.avgLatency = m.latency.mean();
+            p.p95Latency = m.latencyHist.percentile(0.95);
+            p.throughput = m.throughputFlitsPerCycle(phases.measure) /
+                           col.numFlows();
+            const double delivered =
+                static_cast<double>(m.latency.count());
+            const double offered =
+                static_cast<double>(m.measuredGenerated);
+            p.saturated = offered > 0.0 && delivered < 0.95 * offered;
+            s.points.push_back(p);
+        }
+        series.push_back(std::move(s));
+    }
+    return series;
+}
+
+std::vector<SaturationPreemption>
+runSaturationPreemption(TrafficPattern pattern, double rate,
+                        const RunPhases &phases)
+{
+    std::vector<SaturationPreemption> rows;
+    for (auto kind : kAllTopologies) {
+        const ColumnConfig col = paperColumn(kind);
+        TrafficConfig traffic;
+        traffic.pattern = pattern;
+        traffic.injectionRate = rate;
+        ColumnSim sim(col, traffic);
+        sim.setMeasureWindow(phases.warmup, phases.measureEnd());
+        sim.run(phases.total());
+        const SimMetrics &m = sim.metrics();
+        rows.push_back(SaturationPreemption{
+            kind, m.preemptionPacketRate(), m.preemptionHopRate()});
+    }
+    return rows;
+}
+
+std::vector<FairnessRow>
+runTable2Fairness(Cycle measureCycles, Cycle warmup)
+{
+    std::vector<FairnessRow> rows;
+    for (auto kind : kAllTopologies) {
+        const ColumnConfig col = paperColumn(kind);
+        // Every injector (terminal and row inputs, node 0 included)
+        // streams to the node-0 terminal well above the 1/64 fair share.
+        const TrafficConfig traffic = makeHotspotAll(col, 0.05);
+        ColumnSim sim(col, traffic);
+        sim.setMeasureWindow(warmup, warmup + measureCycles);
+        sim.run(warmup + measureCycles);
+
+        RunningStat rs;
+        for (auto flits : sim.metrics().flowFlits)
+            rs.push(static_cast<double>(flits));
+        FairnessRow row;
+        row.topology = kind;
+        row.meanFlits = rs.mean();
+        row.minFlits = rs.min();
+        row.maxFlits = rs.max();
+        row.stddevFlits = rs.stddev();
+        row.preemptions = sim.metrics().preemptionEvents;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::vector<AdversarialResult>
+runAdversarial(int workload, Cycle genCycles)
+{
+    TAQOS_ASSERT(workload == 1 || workload == 2, "workload must be 1 or 2");
+    std::vector<AdversarialResult> rows;
+    const Cycle budget = genCycles * 10;
+
+    for (auto kind : kAllTopologies) {
+        const ColumnConfig colPvc = paperColumn(kind, QosMode::Pvc);
+        const TrafficConfig traffic = workload == 1
+            ? makeWorkload1(colPvc)
+            : makeWorkload2(colPvc);
+        TrafficConfig finite = traffic;
+        finite.genUntil = genCycles;
+
+        ColumnSim pvc(colPvc, finite);
+        pvc.setMeasureWindow(0, genCycles);
+        const Cycle donePvc = pvc.runUntilDrained(budget, genCycles);
+        TAQOS_ASSERT(donePvc != kNoCycle, "%s: PVC run did not drain",
+                     topologyName(kind));
+
+        // Preemption-free reference: identical traffic (same seed), same
+        // topology, per-flow queueing.
+        const ColumnConfig colRef = paperColumn(kind, QosMode::PerFlowQueue);
+        ColumnSim ref(colRef, finite);
+        ref.setMeasureWindow(0, genCycles);
+        const Cycle doneRef = ref.runUntilDrained(budget, genCycles);
+        TAQOS_ASSERT(doneRef != kNoCycle, "%s: reference run did not drain",
+                     topologyName(kind));
+
+        AdversarialResult row;
+        row.topology = kind;
+        const SimMetrics &m = pvc.metrics();
+
+        // Expected throughput under max-min fairness: demands are the
+        // injection rates; the capacity being shared is what the network
+        // actually delivered in the generation window (replay overhead
+        // shows up as slowdown, not as an unfairness artefact).
+        std::vector<double> demands(
+            static_cast<std::size_t>(colPvc.numFlows()), 0.0);
+        for (FlowId f = 0; f < colPvc.numFlows(); ++f) {
+            if (traffic.flowActive(f) && !traffic.activeFlows.empty())
+                demands[static_cast<std::size_t>(f)] = traffic.rateOf(f);
+        }
+        const double capacity = std::min(
+            1.0, static_cast<double>(m.windowFlits()) /
+                     static_cast<double>(genCycles));
+        const std::vector<double> alloc =
+            maxMinAllocation(demands, capacity);
+        row.preemptedPacketsPct = 100.0 * m.preemptionPacketRate();
+        row.replayedHopsPct = 100.0 * m.preemptionHopRate();
+        row.completionCycle = donePvc;
+        row.slowdownPct = 100.0 * (static_cast<double>(donePvc) /
+                                       static_cast<double>(doneRef) -
+                                   1.0);
+
+        RunningStat dev;
+        for (FlowId f = 0; f < colPvc.numFlows(); ++f) {
+            const double expect =
+                alloc[static_cast<std::size_t>(f)] *
+                static_cast<double>(genCycles);
+            if (expect <= 0.0)
+                continue;
+            const double got = static_cast<double>(
+                m.flowFlits[static_cast<std::size_t>(f)]);
+            dev.push(100.0 * (got - expect) / expect);
+        }
+        row.avgDeviationPct = dev.mean();
+        row.minDeviationPct = dev.min();
+        row.maxDeviationPct = dev.max();
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::vector<EnergyRow>
+runFig7Energy()
+{
+    const TechParams tech = tech32nm();
+    std::vector<EnergyRow> rows;
+    for (auto kind : kAllTopologies) {
+        const ColumnConfig col = paperColumn(kind);
+        const RouterGeometry geom = representativeGeometry(kind, col);
+        const RouterEnergyProfile e = computeRouterEnergy(geom, tech);
+
+        const double buf = e.bufferWritePj + e.bufferReadPj;
+        const double flow = e.flowQueryPj + e.flowUpdatePj;
+
+        EnergyRow row;
+        row.topology = kind;
+        // Source and destination traversals are full router hops in every
+        // topology: buffer write+read, crossbar, flow-state query+update.
+        row.srcPj[0] = buf;
+        row.srcPj[1] = e.xbarPj;
+        row.srcPj[2] = flow;
+        row.dstPj[0] = buf;
+        row.dstPj[1] = e.xbarPj;
+        row.dstPj[2] = flow;
+
+        int intermediates = 2; // on a 3-hop route
+        switch (kind) {
+          case TopologyKind::MeshX1:
+          case TopologyKind::MeshX2:
+          case TopologyKind::MeshX4:
+            // Full router traversal at every intermediate hop.
+            row.intPj[0] = buf;
+            row.intPj[1] = e.xbarPj;
+            row.intPj[2] = flow;
+            break;
+          case TopologyKind::Mecs:
+          case TopologyKind::FlatButterfly:
+            // Single-network-hop topologies pass intermediate nodes on
+            // wires; no router traversal at all.
+            row.intPj[0] = row.intPj[1] = row.intPj[2] = 0.0;
+            break;
+          case TopologyKind::Dps:
+            // 2:1 mux hop: buffer write+read only — no crossbar, no
+            // flow-state access (priority reuse).
+            row.intPj[0] = buf;
+            row.intPj[1] = e.muxPj;
+            row.intPj[2] = 0.0;
+            break;
+        }
+        for (int c = 0; c < 3; ++c) {
+            row.threeHopPj[c] =
+                row.srcPj[c] + intermediates * row.intPj[c] + row.dstPj[c];
+        }
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace taqos

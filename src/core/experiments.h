@@ -1,0 +1,124 @@
+/// \file experiments.h
+/// Runners for every table and figure in the paper's evaluation (Sec. 5).
+/// Each returns a structured result; the bench binaries format them into
+/// the same rows/series the paper reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "power/router_power.h"
+#include "sim/sim_config.h"
+#include "topo/topology.h"
+#include "traffic/pattern.h"
+
+namespace taqos {
+
+/// Default column configuration of the paper (Table 1 + Sec. 4): 8 nodes,
+/// 64 injectors, PVC with a 50K-cycle frame.
+ColumnConfig paperColumn(TopologyKind kind, QosMode mode = QosMode::Pvc);
+
+// ---------------------------------------------------------------- Fig. 3
+
+struct AreaRow {
+    TopologyKind topology;
+    AreaBreakdown area;
+};
+
+/// Router area overhead per topology (input buffers, crossbar, flow state;
+/// row-input buffering is the topology-independent dotted line).
+std::vector<AreaRow> runFig3Area();
+
+// ---------------------------------------------------------------- Fig. 4
+
+struct LatencyPoint {
+    double injectionRate = 0.0; ///< flits/cycle/injector
+    double avgLatency = 0.0;    ///< cycles (generation to tail ejection)
+    double throughput = 0.0;    ///< delivered flits/cycle/injector
+    double p95Latency = 0.0;
+    bool saturated = false; ///< latency diverged / deliveries incomplete
+};
+
+struct LatencySeries {
+    TopologyKind topology;
+    std::vector<LatencyPoint> points;
+};
+
+/// Latency/throughput vs offered load for all five topologies.
+std::vector<LatencySeries> runFig4Latency(TrafficPattern pattern,
+                                          const std::vector<double> &rates,
+                                          const RunPhases &phases = {});
+
+// ------------------------------------------------- Sec. 5.2 (text): E4
+
+struct SaturationPreemption {
+    TopologyKind topology;
+    double packetRate = 0.0; ///< preemption events / delivered packets
+    double hopRate = 0.0;    ///< wasted hop traversals / total traversals
+};
+
+/// Preemption (replay) rates in saturation for a pattern.
+std::vector<SaturationPreemption>
+runSaturationPreemption(TrafficPattern pattern, double rate = 0.15,
+                        const RunPhases &phases = {});
+
+// --------------------------------------------------------------- Table 2
+
+struct FairnessRow {
+    TopologyKind topology;
+    double meanFlits = 0.0;
+    double minFlits = 0.0;
+    double maxFlits = 0.0;
+    double stddevFlits = 0.0;
+    std::uint64_t preemptions = 0;
+
+    double minPct() const { return 100.0 * minFlits / meanFlits; }
+    double maxPct() const { return 100.0 * maxFlits / meanFlits; }
+    double stddevPct() const { return 100.0 * stddevFlits / meanFlits; }
+};
+
+/// Hotspot fairness: every injector streams to the node-0 terminal;
+/// reports per-flow delivered flits (mean/min/max/stddev), as Table 2.
+std::vector<FairnessRow> runTable2Fairness(Cycle measureCycles = 280000,
+                                           Cycle warmup = 20000);
+
+// --------------------------------------------------------- Figs. 5 and 6
+
+struct AdversarialResult {
+    TopologyKind topology;
+    double preemptedPacketsPct = 0.0; ///< Fig. 5 "Packets"
+    double replayedHopsPct = 0.0;     ///< Fig. 5 "Hops"
+    double slowdownPct = 0.0;         ///< Fig. 6 vs per-flow queueing
+    double avgDeviationPct = 0.0;     ///< Fig. 6 vs max-min expectation
+    double minDeviationPct = 0.0;
+    double maxDeviationPct = 0.0;
+    Cycle completionCycle = 0;
+};
+
+/// Workload 1 or 2 (Sec. 5.3): runs PVC and the preemption-free per-flow
+/// queueing reference on identical traffic; measures preemption incidence,
+/// completion-time slowdown, and deviation from max-min throughput.
+std::vector<AdversarialResult> runAdversarial(int workload,
+                                              Cycle genCycles = 100000);
+
+// ---------------------------------------------------------------- Fig. 7
+
+enum class HopKind { Source, Intermediate, Destination };
+
+struct EnergyRow {
+    TopologyKind topology;
+    /// Energy (pJ/flit) split by component, per hop kind, plus the 3-hop
+    /// route total (four router traversals for mesh/DPS; source +
+    /// express channel + destination for MECS).
+    double srcPj[3] = {};  ///< [buffers, xbar, flow table]
+    double intPj[3] = {};
+    double dstPj[3] = {};
+    double threeHopPj[3] = {};
+
+    static double total(const double c[3]) { return c[0] + c[1] + c[2]; }
+};
+
+std::vector<EnergyRow> runFig7Energy();
+
+} // namespace taqos

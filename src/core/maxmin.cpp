@@ -1,0 +1,47 @@
+#include "core/maxmin.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace taqos {
+
+std::vector<double>
+maxMinAllocation(const std::vector<double> &demands, double capacity)
+{
+    TAQOS_ASSERT(capacity >= 0.0, "negative capacity");
+    std::vector<double> alloc(demands.size(), 0.0);
+    std::vector<std::size_t> unsatisfied;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+        if (demands[i] > 0.0)
+            unsatisfied.push_back(i);
+    }
+
+    double remaining = capacity;
+    while (!unsatisfied.empty() && remaining > 1e-12) {
+        const double share = remaining / static_cast<double>(unsatisfied.size());
+        // Grant every flow whose demand fits within the current share its
+        // full demand; if none fits, split the remainder equally and stop.
+        std::vector<std::size_t> still;
+        bool granted = false;
+        for (auto i : unsatisfied) {
+            if (demands[i] - alloc[i] <= share + 1e-12) {
+                remaining -= demands[i] - alloc[i];
+                alloc[i] = demands[i];
+                granted = true;
+            } else {
+                still.push_back(i);
+            }
+        }
+        if (!granted) {
+            for (auto i : still)
+                alloc[i] += share;
+            remaining = 0.0;
+            break;
+        }
+        unsatisfied = std::move(still);
+    }
+    return alloc;
+}
+
+} // namespace taqos

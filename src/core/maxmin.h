@@ -1,0 +1,18 @@
+/// \file maxmin.h
+/// Max-min fair allocation (Dally & Towles's standard fairness definition,
+/// used by the paper for Fig. 6's expected throughputs): demands below the
+/// equal share are granted fully; the residue is iteratively split among
+/// the unsatisfied flows.
+#pragma once
+
+#include <vector>
+
+namespace taqos {
+
+/// Allocate `capacity` among `demands` max-min fairly. Returns the
+/// per-flow allocation (same units as demands). Zero-demand entries get
+/// zero. If total demand fits, everyone gets their demand.
+std::vector<double> maxMinAllocation(const std::vector<double> &demands,
+                                     double capacity);
+
+} // namespace taqos

@@ -1,0 +1,29 @@
+#include "noc/metrics.h"
+
+#include "common/strings.h"
+
+namespace taqos {
+
+std::string
+SimMetrics::summary() const
+{
+    std::string out;
+    out += strFormat("generated : %llu packets (%llu flits)\n",
+                     static_cast<unsigned long long>(generatedPackets),
+                     static_cast<unsigned long long>(generatedFlits));
+    out += strFormat("delivered : %llu packets (%llu flits)\n",
+                     static_cast<unsigned long long>(deliveredPackets),
+                     static_cast<unsigned long long>(deliveredFlits));
+    out += strFormat("latency   : avg %.1f, min %.0f, max %.0f cycles "
+                     "(%llu measured)\n",
+                     latency.mean(), latency.min(), latency.max(),
+                     static_cast<unsigned long long>(latency.count()));
+    out += strFormat("preemption: %llu events, %.2f%% packets, "
+                     "%.2f%% hops replayed\n",
+                     static_cast<unsigned long long>(preemptionEvents),
+                     100.0 * preemptionPacketRate(),
+                     100.0 * preemptionHopRate());
+    return out;
+}
+
+} // namespace taqos

@@ -1,0 +1,87 @@
+/// \file metrics.h
+/// Simulation-wide measurement state shared by injectors, routers and
+/// terminals. Latency statistics cover packets *generated* inside the
+/// measurement window; per-flow throughput covers flits *delivered* inside
+/// it; preemption/hop accounting covers the whole run (the adversarial
+/// workloads measure complete executions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace taqos {
+
+struct SimMetrics {
+    explicit SimMetrics(int numFlows)
+        : flowFlits(static_cast<std::size_t>(numFlows), 0)
+    {
+    }
+
+    Cycle measureStart = 0;
+    Cycle measureEnd = kNoCycle;
+
+    bool inWindow(Cycle c) const { return c >= measureStart && c < measureEnd; }
+
+    // --- offered / accepted traffic ---
+    std::uint64_t generatedPackets = 0;
+    std::uint64_t generatedFlits = 0;
+    std::uint64_t measuredGenerated = 0; ///< packets generated in-window
+    std::uint64_t injectedAttempts = 0; ///< injection-port wins (incl. replays)
+    std::uint64_t deliveredPackets = 0;
+    std::uint64_t deliveredFlits = 0;
+
+    // --- latency (measured packets only) ---
+    RunningStat latency;
+    Histogram latencyHist{4.0, 128};
+
+    // --- per-flow throughput in the measurement window (flits) ---
+    std::vector<std::uint64_t> flowFlits;
+
+    // --- preemption accounting (whole run) ---
+    std::uint64_t preemptionEvents = 0;
+    double usefulHops = 0.0;
+    double wastedHops = 0.0;
+
+    /// Fraction of packets experiencing a preemption (each event counted
+    /// separately, as in the paper).
+    double preemptionPacketRate() const
+    {
+        return deliveredPackets == 0
+            ? 0.0
+            : static_cast<double>(preemptionEvents) /
+                  static_cast<double>(deliveredPackets);
+    }
+
+    /// Fraction of hop traversals wasted and replayed.
+    double preemptionHopRate() const
+    {
+        const double total = usefulHops + wastedHops;
+        return total <= 0.0 ? 0.0 : wastedHops / total;
+    }
+
+    /// Delivered flits per cycle over the measurement window.
+    double throughputFlitsPerCycle(Cycle windowLen) const
+    {
+        return windowLen == 0
+            ? 0.0
+            : static_cast<double>(windowFlits()) /
+                  static_cast<double>(windowLen);
+    }
+
+    std::uint64_t windowFlits() const
+    {
+        std::uint64_t sum = 0;
+        for (auto f : flowFlits)
+            sum += f;
+        return sum;
+    }
+
+    /// Multi-line human-readable summary (examples, debugging dumps).
+    std::string summary() const;
+};
+
+} // namespace taqos

@@ -1,0 +1,108 @@
+#include "noc/packet.h"
+
+namespace taqos {
+
+void
+NetPacket::addLoc(InputPort *port, int vc)
+{
+    TAQOS_ASSERT(numLocs < static_cast<int>(locs.size()),
+                 "packet %llu occupies too many VCs",
+                 static_cast<unsigned long long>(id));
+    locs[static_cast<std::size_t>(numLocs++)] = VcRef{port, vc};
+}
+
+void
+NetPacket::removeLoc(InputPort *port, int vc)
+{
+    for (int i = 0; i < numLocs; ++i) {
+        if (locs[static_cast<std::size_t>(i)].port == port &&
+            locs[static_cast<std::size_t>(i)].vc == vc) {
+            locs[static_cast<std::size_t>(i)] =
+                locs[static_cast<std::size_t>(numLocs - 1)];
+            --numLocs;
+            return;
+        }
+    }
+    TAQOS_UNREACHABLE("removeLoc: location not found");
+}
+
+void
+NetPacket::addXfer(OutputPort *out)
+{
+    TAQOS_ASSERT(numXfers < static_cast<int>(xfers.size()),
+                 "packet %llu has too many active transfers",
+                 static_cast<unsigned long long>(id));
+    xfers[static_cast<std::size_t>(numXfers++)] = out;
+}
+
+void
+NetPacket::removeXfer(OutputPort *out)
+{
+    for (int i = 0; i < numXfers; ++i) {
+        if (xfers[static_cast<std::size_t>(i)] == out) {
+            xfers[static_cast<std::size_t>(i)] =
+                xfers[static_cast<std::size_t>(numXfers - 1)];
+            --numXfers;
+            return;
+        }
+    }
+    TAQOS_UNREACHABLE("removeXfer: transfer not found");
+}
+
+void
+NetPacket::logCharge(void *table, int tableIdx)
+{
+    // A packet traverses at most a handful of charging hops per attempt;
+    // silently dropping beyond the cap would skew fairness accounting.
+    TAQOS_ASSERT(numCharges < static_cast<int>(charges.size()),
+                 "charge log overflow for packet %llu",
+                 static_cast<unsigned long long>(id));
+    charges[static_cast<std::size_t>(numCharges++)] =
+        ChargeRef{table, tableIdx};
+}
+
+void
+NetPacket::beginAttempt(Cycle now)
+{
+    injectCycle = now;
+    state = PacketState::InFlight;
+    hopsThisAttempt = 0.0;
+    blockedSince = kNoCycle;
+    ++attempt;
+    clearLocs();
+    numXfers = 0;
+    numCharges = 0;
+}
+
+NetPacket *
+PacketPool::alloc()
+{
+    NetPacket *pkt;
+    if (!free_.empty()) {
+        pkt = free_.back();
+        free_.pop_back();
+        const PacketId keep = nextId_++;
+        *pkt = NetPacket{};
+        pkt->id = keep;
+    } else {
+        all_.push_back(std::make_unique<NetPacket>());
+        pkt = all_.back().get();
+        pkt->id = nextId_++;
+    }
+    ++live_;
+    return pkt;
+}
+
+void
+PacketPool::release(NetPacket *pkt)
+{
+    TAQOS_ASSERT(pkt->state == PacketState::Delivered ||
+                     pkt->state == PacketState::Queued,
+                 "releasing packet in non-terminal state");
+    TAQOS_ASSERT(pkt->numLocs == 0, "releasing packet that still owns VCs");
+    TAQOS_ASSERT(live_ > 0, "pool underflow");
+    --live_;
+    free_.push_back(pkt);
+}
+
+} // namespace taqos

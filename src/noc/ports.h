@@ -1,0 +1,168 @@
+/// \file ports.h
+/// Router ports and link transfer machinery.
+///
+/// An OutputPort owns a physical channel. For mesh and DPS this is a
+/// point-to-point segment (one drop); for MECS it is a point-to-multipoint
+/// express channel with one drop per downstream node. Virtual cut-through
+/// holds the channel for the whole packet, so at most one transfer is in
+/// progress per output at a time.
+///
+/// An InputPort owns the VC storage at the receiving end. Several input
+/// ports may share one crossbar input (MECS input arbiters, 4:1/3:1 row
+/// sharing); the shared switch port is modelled by XbarGroup occupancy.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "noc/packet.h"
+#include "noc/vc.h"
+
+namespace taqos {
+
+/// One traffic source (terminal or row input). The queue head is the only
+/// injectable packet; `outstanding` enforces the PVC retransmission window.
+struct InjectorQueue {
+    FlowId flow = kInvalidFlow;
+    NodeId node = kInvalidNode;
+    std::deque<NetPacket *> queue;
+    int outstanding = 0;  ///< packets in network / awaiting ACK
+    int windowLimit = 16; ///< per-source outstanding-packet window
+
+    bool windowOpen() const { return outstanding < windowLimit; }
+};
+
+/// A (possibly shared) crossbar input port: only one packet may stream
+/// through it at a time.
+class XbarGroup {
+  public:
+    bool freeAt(Cycle now) const { return now >= busyUntil_; }
+    void occupy(Cycle now, int sizeFlits)
+    {
+        busyUntil_ = now + static_cast<Cycle>(sizeFlits);
+    }
+
+  private:
+    Cycle busyUntil_ = 0;
+};
+
+class InputPort {
+  public:
+    enum class Kind : std::uint8_t {
+        Network,   ///< column/subnet channel input with VC buffers
+        Injection, ///< terminal or shared row input (injector queues)
+    };
+
+    std::string name;
+    NodeId node = kInvalidNode;
+    Kind kind = Kind::Network;
+
+    /// Router pipeline depth seen by packets entering through this port
+    /// (cycles from head arrival/readiness to earliest first-flit-out).
+    /// DPS intermediate (pass-through) inputs use 1; mesh/DPS source and
+    /// destination ports use 2; MECS uses 3.
+    int pipelineDelay = 2;
+
+    /// Cycles before an upstream allocator sees a freed VC (credit return
+    /// = wire span of the feeding channel).
+    int creditDelay = 1;
+
+    /// Index of the VC reserved for rate-compliant packets (-1 = none).
+    int reservedVc = -1;
+
+    /// Per-flow-queueing baseline: VCs grow on demand, so allocation never
+    /// fails and preemption never triggers.
+    bool unboundedVcs = false;
+
+    /// DPS intermediate (pass-through) ports: no flow-state query — packets
+    /// arbitrate with the priority computed at their source (PVC priority
+    /// reuse).
+    bool usesCarriedPrio = false;
+
+    /// Shared crossbar input this port streams through (null = dedicated
+    /// path, e.g. a DPS intermediate mux).
+    XbarGroup *group = nullptr;
+
+    std::vector<VirtualChannel> vcs;
+
+    /// Only for Kind::Injection: the sources multiplexed onto this port.
+    std::vector<InjectorQueue *> injectors;
+
+    /// Find an allocatable VC honouring the reserved-VC policy. Returns
+    /// the VC index or -1. Non-compliant packets may not take the reserved
+    /// VC; compliant packets try regular VCs first to keep the escape VC
+    /// available.
+    int findFreeVc(Cycle now, bool rateCompliant);
+
+    /// Any VC allocatable for this compliance class? (used before paying
+    /// the preemption cost)
+    bool anyFreeVc(Cycle now, bool rateCompliant);
+
+    int occupiedVcs() const;
+};
+
+class OutputPort {
+  public:
+    /// One reachable downstream attach point of this channel.
+    struct Drop {
+        InputPort *down = nullptr;
+        int wireDelay = 1;
+        /// Mesh-equivalent hop count of this traversal (Sec. 5.3
+        /// normalization: a MECS express span of d counts as d hops).
+        double meshHops = 1.0;
+    };
+
+    /// The packet currently streaming through this output.
+    struct Transfer {
+        bool active = false;
+        NetPacket *pkt = nullptr;
+        int dropIdx = -1;
+        int dstVc = -1;
+        Cycle firstFlit = 0;  ///< cycle the head flit is on the wire
+        Cycle tailDepart = 0; ///< cycle the tail flit is on the wire
+        /// VC being drained at the sending router (port == nullptr when
+        /// the packet entered from an injector queue).
+        VcRef srcVc{};
+
+        int flitsDeparted(Cycle now, int sizeFlits) const;
+    };
+
+    std::string name;
+    NodeId node = kInvalidNode;
+    std::vector<Drop> drops;
+
+    /// Flow-state table this output charges/queries. Replicated mesh
+    /// channels in the same direction form one logical output and share a
+    /// table; every other output has its own (-1 until the builder
+    /// assigns it).
+    int tableIdx = -1;
+
+    bool linkFree(Cycle now) const { return now >= nextStart_; }
+    const Transfer &transfer() const { return xfer_; }
+
+    /// Begin streaming `pkt` towards drop `dropIdx`, into VC `dstVc`.
+    /// `srcVc` identifies the draining VC ({nullptr,-1} for injection).
+    /// Caller has already reserved the downstream VC.
+    void startTransfer(NetPacket *pkt, int dropIdx, int dstVc, VcRef srcVc,
+                       Cycle now);
+
+    /// Complete the transfer if its tail has departed: frees the source VC
+    /// (credit visible after the source port's credit delay) and credits
+    /// the packet with the hop traversal. Call once per cycle before
+    /// arbitration.
+    void tickCompletion(Cycle now);
+
+    /// Abort the in-progress transfer because its packet was preempted.
+    /// Returns the fraction of the hop that was wasted (flits already
+    /// departed / packet size, in mesh-equivalent hops). The channel stays
+    /// busy through its committed window.
+    double cancelTransfer(Cycle now);
+
+  private:
+    Cycle nextStart_ = 0;
+    Transfer xfer_{};
+};
+
+} // namespace taqos

@@ -1,0 +1,43 @@
+#include "noc/vc.h"
+
+namespace taqos {
+
+void
+VirtualChannel::reserve(NetPacket *pkt, Cycle headArrival, Cycle tailArrival)
+{
+    TAQOS_ASSERT(state_ == State::Free, "reserving a non-free VC");
+    TAQOS_ASSERT(pkt != nullptr, "reserving VC for null packet");
+    state_ = State::Reserved;
+    pkt_ = pkt;
+    headArrival_ = headArrival;
+    tailArrival_ = tailArrival;
+}
+
+void
+VirtualChannel::startDrain()
+{
+    TAQOS_ASSERT(state_ == State::Reserved, "draining a VC that is not held");
+    state_ = State::Draining;
+}
+
+void
+VirtualChannel::free(Cycle visibleAt)
+{
+    TAQOS_ASSERT(state_ != State::Free, "double free of VC");
+    state_ = State::Free;
+    pkt_ = nullptr;
+    headArrival_ = kNoCycle;
+    tailArrival_ = kNoCycle;
+    freeVisibleAt_ = visibleAt;
+}
+
+int
+VirtualChannel::flitsPresent(Cycle now) const
+{
+    if (state_ == State::Free || pkt_ == nullptr || now < headArrival_)
+        return 0;
+    const Cycle last = now < tailArrival_ ? now : tailArrival_;
+    return static_cast<int>(last - headArrival_ + 1);
+}
+
+} // namespace taqos

@@ -1,0 +1,49 @@
+#include "power/crossbar_model.h"
+
+#include "common/assert.h"
+#include "power/wire_model.h"
+
+namespace taqos {
+
+CrossbarModel::CrossbarModel(int inputs, int outputs, int widthBits,
+                             const TechParams &tech, double inputFeedUm)
+    : inputs_(inputs), outputs_(outputs), widthBits_(widthBits), tech_(tech),
+      inputFeedUm_(inputFeedUm)
+{
+    TAQOS_ASSERT(inputs > 0 && outputs > 0 && widthBits > 0,
+                 "bad crossbar geometry %dx%d w=%d", inputs, outputs,
+                 widthBits);
+}
+
+double
+CrossbarModel::inputSpanUm() const
+{
+    return static_cast<double>(inputs_) * widthBits_ * tech_.wirePitchUm;
+}
+
+double
+CrossbarModel::outputSpanUm() const
+{
+    return static_cast<double>(outputs_) * widthBits_ * tech_.wirePitchUm;
+}
+
+double
+CrossbarModel::areaMm2() const
+{
+    // A matrix crossbar occupies inputSpan x outputSpan of dense tracks.
+    return inputSpanUm() * outputSpanUm() * 1e-6;
+}
+
+double
+CrossbarModel::traversalEnergyPj() const
+{
+    // A flit drives one full input row and one full output column of the
+    // matrix, plus the feed wire from its VC array to the switch edge.
+    const WireModel wire(tech_);
+    const double mm = (inputSpanUm() + outputSpanUm() + inputFeedUm_) * 1e-3;
+    // Crossbar tracks are denser (less repeated) than global wire; apply a
+    // mild 1.2x cap factor for crosstalk/jumpers, folded into the constant.
+    return wire.energyPj(widthBits_, mm) * 1.2;
+}
+
+} // namespace taqos

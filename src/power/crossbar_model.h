@@ -1,0 +1,44 @@
+/// \file crossbar_model.h
+/// Orion-flavoured matrix-crossbar model. Area is proportional to the
+/// product of input and output port counts (each port spans width * pitch
+/// tracks); traversal energy follows the wire length a flit drives across
+/// the switch, plus any input feed lines (the MECS penalty).
+#pragma once
+
+#include "power/tech.h"
+
+namespace taqos {
+
+class CrossbarModel {
+  public:
+    /// \param inputs  crossbar input ports (after input-arbiter sharing)
+    /// \param outputs crossbar output ports
+    /// \param widthBits datapath width (flit bits)
+    /// \param inputFeedUm extra wire each flit drives to reach the switch
+    ///        (long VC-array feed lines in a MECS router); 0 for compact
+    ///        routers.
+    CrossbarModel(int inputs, int outputs, int widthBits,
+                  const TechParams &tech, double inputFeedUm = 0.0);
+
+    /// Switch fabric area (mm^2).
+    double areaMm2() const;
+
+    /// Energy of one flit traversal (pJ), input feed included.
+    double traversalEnergyPj() const;
+
+    /// Side lengths of the switch (um) — also used to derive feed lengths.
+    double inputSpanUm() const;
+    double outputSpanUm() const;
+
+    int inputs() const { return inputs_; }
+    int outputs() const { return outputs_; }
+
+  private:
+    int inputs_;
+    int outputs_;
+    int widthBits_;
+    TechParams tech_;
+    double inputFeedUm_;
+};
+
+} // namespace taqos

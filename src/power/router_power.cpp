@@ -1,0 +1,106 @@
+#include "power/router_power.h"
+
+#include "common/assert.h"
+#include "power/crossbar_model.h"
+#include "power/sram_model.h"
+
+namespace taqos {
+namespace {
+
+double
+groupAreaMm2(const std::vector<BufferGroup> &groups, int flitBits,
+             const TechParams &tech)
+{
+    double area = 0.0;
+    for (const auto &g : groups) {
+        const SramModel array(ArrayKind::RouterBuffer,
+                              g.vcsPerPort * g.flitsPerVc, flitBits, tech);
+        area += static_cast<double>(g.numPorts) * array.areaMm2();
+    }
+    return area;
+}
+
+/// Port-count-weighted average flit access energy over the column groups.
+void
+averageBufferEnergy(const RouterGeometry &geom, const TechParams &tech,
+                    double &readPj, double &writePj)
+{
+    double read = 0.0;
+    double write = 0.0;
+    int ports = 0;
+    for (const auto &g : geom.columnBuffers) {
+        const SramModel array(ArrayKind::RouterBuffer,
+                              g.vcsPerPort * g.flitsPerVc, geom.flitBits,
+                              tech);
+        read += g.numPorts * array.readEnergyPj();
+        write += g.numPorts * array.writeEnergyPj();
+        ports += g.numPorts;
+    }
+    if (ports == 0) {
+        readPj = writePj = 0.0;
+        return;
+    }
+    readPj = read / ports;
+    writePj = write / ports;
+}
+
+} // namespace
+
+int
+totalColumnBufferFlits(const RouterGeometry &geom)
+{
+    int flits = 0;
+    for (const auto &g : geom.columnBuffers)
+        flits += g.numPorts * g.vcsPerPort * g.flitsPerVc;
+    return flits;
+}
+
+AreaBreakdown
+computeRouterArea(const RouterGeometry &geom, const TechParams &tech)
+{
+    TAQOS_ASSERT(geom.flitBits > 0, "geometry %s missing flit width",
+                 geom.name.c_str());
+
+    AreaBreakdown area;
+    area.columnBuffersMm2 = groupAreaMm2(geom.columnBuffers, geom.flitBits,
+                                         tech);
+    area.rowBuffersMm2 = groupAreaMm2(geom.rowBuffers, geom.flitBits, tech);
+
+    if (geom.xbarInputs > 0 && geom.xbarOutputs > 0) {
+        const CrossbarModel xbar(geom.xbarInputs, geom.xbarOutputs,
+                                 geom.flitBits, tech, geom.xbarInputFeedUm);
+        area.xbarMm2 = xbar.areaMm2();
+    }
+
+    if (geom.flowTableFlows > 0 && geom.flowTableOutputs > 0) {
+        const SramModel table(ArrayKind::DenseSram, geom.flowTableFlows,
+                              geom.flowCounterBits, tech);
+        area.flowStateMm2 = geom.flowTableOutputs * table.areaMm2();
+    }
+    return area;
+}
+
+RouterEnergyProfile
+computeRouterEnergy(const RouterGeometry &geom, const TechParams &tech)
+{
+    RouterEnergyProfile e;
+    averageBufferEnergy(geom, tech, e.bufferReadPj, e.bufferWritePj);
+
+    if (geom.xbarInputs > 0 && geom.xbarOutputs > 0) {
+        const CrossbarModel xbar(geom.xbarInputs, geom.xbarOutputs,
+                                 geom.flitBits, tech, geom.xbarInputFeedUm);
+        e.xbarPj = xbar.traversalEnergyPj();
+    }
+
+    if (geom.flowTableFlows > 0) {
+        const SramModel table(ArrayKind::DenseSram, geom.flowTableFlows,
+                              geom.flowCounterBits, tech);
+        e.flowQueryPj = table.readEnergyPj();
+        e.flowUpdatePj = table.writeEnergyPj();
+    }
+
+    e.muxPj = geom.flitBits * tech.muxEnergyPerBitPj;
+    return e;
+}
+
+} // namespace taqos

@@ -1,0 +1,85 @@
+/// \file router_power.h
+/// Aggregates the SRAM / crossbar / wire models into per-router area and
+/// per-event energy figures, given a structural description of the router.
+/// This is the layer Figures 3 and 7 of the paper are computed from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "power/tech.h"
+
+namespace taqos {
+
+/// A group of identical input ports and their VC storage.
+struct BufferGroup {
+    int numPorts = 0;
+    int vcsPerPort = 0;
+    int flitsPerVc = 4;
+};
+
+/// Structural description of one shared-region router, sufficient for the
+/// analytic area/energy models. Produced per topology by `src/topo`.
+struct RouterGeometry {
+    std::string name;
+
+    /// Datapath width. The paper uses 16-byte links.
+    int flitBits = 128;
+
+    /// Column (network) input buffering — the topology-dependent part.
+    std::vector<BufferGroup> columnBuffers;
+
+    /// Row-input + terminal buffering, identical across all topologies
+    /// (the dotted line in the paper's Figure 3).
+    std::vector<BufferGroup> rowBuffers;
+
+    /// Crossbar ports after input-arbiter sharing.
+    int xbarInputs = 0;
+    int xbarOutputs = 0;
+
+    /// Extra input feed wire per traversal (um); models the long lines from
+    /// the many MECS VC arrays to their shared switch port.
+    double xbarInputFeedUm = 0.0;
+
+    /// PVC flow state: one counter table per tracked output port.
+    int flowTableFlows = 0;
+    int flowTableOutputs = 0;
+    int flowCounterBits = 24;
+};
+
+/// Router area split by component (mm^2).
+struct AreaBreakdown {
+    double columnBuffersMm2 = 0.0;
+    double rowBuffersMm2 = 0.0;
+    double xbarMm2 = 0.0;
+    double flowStateMm2 = 0.0;
+
+    double buffersMm2() const { return columnBuffersMm2 + rowBuffersMm2; }
+    double totalMm2() const
+    {
+        return buffersMm2() + xbarMm2 + flowStateMm2;
+    }
+};
+
+/// Per-event dynamic energies (pJ) for one router instance.
+struct RouterEnergyProfile {
+    double bufferWritePj = 0.0; ///< write one flit into a column VC
+    double bufferReadPj = 0.0;  ///< read one flit out of a column VC
+    double xbarPj = 0.0;        ///< one flit crossbar traversal
+    double flowQueryPj = 0.0;   ///< read a flow-state entry
+    double flowUpdatePj = 0.0;  ///< write back a flow-state entry
+    double muxPj = 0.0;         ///< DPS intermediate 2:1 mux, per flit
+};
+
+/// Compute the silicon area of a router.
+AreaBreakdown computeRouterArea(const RouterGeometry &geom,
+                                const TechParams &tech);
+
+/// Compute per-event energies for a router.
+RouterEnergyProfile computeRouterEnergy(const RouterGeometry &geom,
+                                        const TechParams &tech);
+
+/// Total flits of column buffering described by a geometry.
+int totalColumnBufferFlits(const RouterGeometry &geom);
+
+} // namespace taqos

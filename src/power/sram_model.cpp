@@ -1,0 +1,59 @@
+#include "power/sram_model.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace taqos {
+
+SramModel::SramModel(ArrayKind kind, int entries, int bitsPerEntry,
+                     const TechParams &tech)
+    : kind_(kind), entries_(entries), bitsPerEntry_(bitsPerEntry), tech_(tech)
+{
+    TAQOS_ASSERT(entries >= 0 && bitsPerEntry > 0,
+                 "bad SRAM geometry: %d x %d", entries, bitsPerEntry);
+}
+
+double
+SramModel::totalBits() const
+{
+    return static_cast<double>(entries_) * static_cast<double>(bitsPerEntry_);
+}
+
+double
+SramModel::areaMm2() const
+{
+    const double bitArea = kind_ == ArrayKind::RouterBuffer
+        ? tech_.bufferBitAreaUm2
+        : tech_.sramBitAreaUm2 * tech_.sramPeripheryFactor;
+    return totalBits() * bitArea * 1e-6;
+}
+
+double
+SramModel::sizeScale() const
+{
+    // Bitline/wordline energy grows roughly with the square root of the
+    // array capacity (CACTI's banked small-array regime).
+    const double ratio = totalBits() / tech_.referenceArrayBits;
+    return ratio <= 1.0 ? 1.0 : std::sqrt(ratio);
+}
+
+double
+SramModel::readEnergyPj() const
+{
+    const double perBit = kind_ == ArrayKind::RouterBuffer
+        ? tech_.bufferReadEnergyPerBitPj
+        : tech_.sramReadEnergyPerBitPj;
+    return static_cast<double>(bitsPerEntry_) * perBit * sizeScale();
+}
+
+double
+SramModel::writeEnergyPj() const
+{
+    const double perBit = kind_ == ArrayKind::RouterBuffer
+        ? tech_.bufferWriteEnergyPerBitPj
+        : tech_.sramWriteEnergyPerBitPj;
+    return static_cast<double>(bitsPerEntry_) * perBit * sizeScale();
+}
+
+} // namespace taqos

@@ -1,0 +1,43 @@
+/// \file sram_model.h
+/// CACTI-flavoured analytic model for the small SRAM / register-file arrays
+/// inside a NOC router: input-buffer VC storage and PVC flow-state tables.
+#pragma once
+
+#include "power/tech.h"
+
+namespace taqos {
+
+/// Storage array kinds differ in cell density and access energy.
+enum class ArrayKind {
+    RouterBuffer, ///< wide 2-port register-file style flit storage
+    DenseSram,    ///< 6T SRAM (flow-state counters)
+};
+
+/// One physical array: `entries` words of `bitsPerEntry` bits.
+class SramModel {
+  public:
+    SramModel(ArrayKind kind, int entries, int bitsPerEntry,
+              const TechParams &tech);
+
+    /// Total silicon area (mm^2), periphery included.
+    double areaMm2() const;
+
+    /// Dynamic energy of one full-entry read / write (pJ), including the
+    /// sqrt-capacity bitline penalty for large arrays.
+    double readEnergyPj() const;
+    double writeEnergyPj() const;
+
+    int entries() const { return entries_; }
+    int bitsPerEntry() const { return bitsPerEntry_; }
+    double totalBits() const;
+
+  private:
+    double sizeScale() const;
+
+    ArrayKind kind_;
+    int entries_;
+    int bitsPerEntry_;
+    TechParams tech_;
+};
+
+} // namespace taqos

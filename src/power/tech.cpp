@@ -1,0 +1,18 @@
+#include "power/tech.h"
+
+namespace taqos {
+
+double
+TechParams::wireEnergyPerBitMmPj() const
+{
+    // 0.5 * C * V^2, scaled by activity; fF * V^2 -> fJ, /1000 -> pJ.
+    return 0.5 * wireCapPerMmFf * vdd * vdd * activityFactor / 1000.0;
+}
+
+TechParams
+tech32nm()
+{
+    return TechParams{};
+}
+
+} // namespace taqos

@@ -1,0 +1,62 @@
+/// \file tech.h
+/// Process-technology parameters for the analytic area/energy models.
+///
+/// The paper evaluates at 32 nm with Vdd = 0.9 V using Orion 2.0 (crossbars,
+/// wires) and a modified CACTI 6.0 (small SRAM arrays with NOC-router data
+/// flow). Neither tool is redistributable here, so we provide analytic
+/// models with ITRS-class 32 nm constants. The models take the same
+/// structural inputs (port counts, VC counts, flit width, wire spans), which
+/// is what determines the paper's *relative* orderings.
+#pragma once
+
+namespace taqos {
+
+struct TechParams {
+    /// Supply voltage (V).
+    double vdd = 0.9;
+
+    /// Raw 6T SRAM cell area (um^2 / bit) for dense arrays (flow tables).
+    double sramBitAreaUm2 = 0.17;
+
+    /// Multiplier covering decoders, sense amps, drivers for small arrays.
+    double sramPeripheryFactor = 2.2;
+
+    /// Effective area of NOC input-buffer storage (um^2 / bit). Router
+    /// buffers are built from 2-ported register-file style cells with wide
+    /// access and per-VC muxing, ~3x less dense than commodity SRAM.
+    double bufferBitAreaUm2 = 1.2;
+
+    /// SRAM dynamic energy (pJ / bit) for read / write of small arrays.
+    double sramReadEnergyPerBitPj = 0.011;
+    double sramWriteEnergyPerBitPj = 0.013;
+
+    /// Buffer (register-file) dynamic energy (pJ / bit).
+    double bufferReadEnergyPerBitPj = 0.016;
+    double bufferWriteEnergyPerBitPj = 0.019;
+
+    /// Array-size scaling: per-access energy grows with sqrt(capacity)
+    /// relative to a reference array of this many bits (bitline length).
+    double referenceArrayBits = 4096.0;
+
+    /// Switched wire capacitance (fF / mm), repeated global wire.
+    double wireCapPerMmFf = 250.0;
+
+    /// Signal activity factor (fraction of bits toggling per flit).
+    double activityFactor = 0.5;
+
+    /// Crossbar track pitch (um) on intermediate metal.
+    double wirePitchUm = 0.20;
+
+    /// Energy of a 2:1 mux control + datapath per bit (pJ) — DPS
+    /// intermediate hops.
+    double muxEnergyPerBitPj = 0.0008;
+
+    /// Energy per bit per mm of repeated wire (pJ), derived:
+    /// 0.5 * C * V^2 * activity.
+    double wireEnergyPerBitMmPj() const;
+};
+
+/// The paper's target process: 32 nm, 0.9 V.
+TechParams tech32nm();
+
+} // namespace taqos

@@ -1,0 +1,19 @@
+#include "power/wire_model.h"
+
+#include <cmath>
+
+namespace taqos {
+
+double
+WireModel::energyPj(int bits, double mm) const
+{
+    return static_cast<double>(bits) * mm * tech_.wireEnergyPerBitMmPj();
+}
+
+int
+WireModel::delayCycles(double mm, double cyclesPerMm)
+{
+    return static_cast<int>(std::ceil(mm * cyclesPerMm));
+}
+
+} // namespace taqos

@@ -1,0 +1,26 @@
+/// \file wire_model.h
+/// Repeated global-wire model: energy per flit per mm and delay per mm.
+/// Used for link energy in chip-level analyses and for the long crossbar
+/// input feed lines of MECS routers.
+#pragma once
+
+#include "power/tech.h"
+
+namespace taqos {
+
+class WireModel {
+  public:
+    explicit WireModel(const TechParams &tech) : tech_(tech) {}
+
+    /// Dynamic energy of moving `bits` over `mm` of repeated wire (pJ).
+    double energyPj(int bits, double mm) const;
+
+    /// Repeated-wire delay (cycles) for a span, given cycles-per-mm. The
+    /// paper's column has 1-cycle hops between adjacent routers.
+    static int delayCycles(double mm, double cyclesPerMm);
+
+  private:
+    TechParams tech_;
+};
+
+} // namespace taqos

@@ -1,0 +1,25 @@
+#include "qos/ack_network.h"
+
+namespace taqos {
+
+void
+AckNetwork::send(Cycle now, int distanceHops, NetPacket *pkt, bool isNack)
+{
+    AckEvent ev;
+    ev.deliverAt = now + static_cast<Cycle>(distanceHops + kBaseDelay);
+    ev.pkt = pkt;
+    ev.isNack = isNack;
+    events_.push(ev);
+}
+
+bool
+AckNetwork::popDue(Cycle now, AckEvent &event)
+{
+    if (events_.empty() || events_.top().deliverAt > now)
+        return false;
+    event = events_.top();
+    events_.pop();
+    return true;
+}
+
+} // namespace taqos

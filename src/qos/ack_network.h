@@ -1,0 +1,43 @@
+/// \file ack_network.h
+/// The dedicated low-bandwidth ACK network PVC uses to acknowledge every
+/// delivered packet and NACK every discarded one. It is contention-free
+/// and narrow (acks are a few bits), so we model it as a fixed
+/// distance-proportional delay pipe.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+#include "noc/packet.h"
+
+namespace taqos {
+
+struct AckEvent {
+    Cycle deliverAt = 0;
+    NetPacket *pkt = nullptr;
+    bool isNack = false;
+
+    bool operator>(const AckEvent &o) const { return deliverAt > o.deliverAt; }
+};
+
+class AckNetwork {
+  public:
+    /// Fixed per-message overhead on top of the hop distance.
+    static constexpr int kBaseDelay = 2;
+
+    /// Queue an ACK (delivered) or NACK (preempted) for `pkt`, sent from a
+    /// router `distanceHops` away from the packet's source.
+    void send(Cycle now, int distanceHops, NetPacket *pkt, bool isNack);
+
+    /// Pop the next event due at or before `now`; returns false when none.
+    bool popDue(Cycle now, AckEvent &event);
+
+    std::size_t pending() const { return events_.size(); }
+
+  private:
+    std::priority_queue<AckEvent, std::vector<AckEvent>, std::greater<>>
+        events_;
+};
+
+} // namespace taqos

@@ -1,0 +1,62 @@
+#include "qos/flow_table.h"
+
+#include "common/assert.h"
+
+namespace taqos {
+
+FlowTable::FlowTable(const PvcParams &params, int numOutputs)
+    : params_(&params), numOutputs_(numOutputs),
+      counts_(static_cast<std::size_t>(numOutputs) *
+                  static_cast<std::size_t>(params.numFlows),
+              0)
+{
+}
+
+std::size_t
+FlowTable::index(int out, FlowId flow) const
+{
+    TAQOS_ASSERT(out >= 0 && out < numOutputs_, "output %d out of range", out);
+    TAQOS_ASSERT(flow >= 0 && flow < params_->numFlows,
+                 "flow %d out of range", flow);
+    return static_cast<std::size_t>(out) *
+               static_cast<std::size_t>(params_->numFlows) +
+           static_cast<std::size_t>(flow);
+}
+
+std::uint64_t
+FlowTable::priorityOf(int out, FlowId flow) const
+{
+    // counter / rate == counter * sumWeights / weight; integer-scaled so
+    // equal-weight flows compare by raw counters.
+    const std::uint64_t count = counts_[index(out, flow)];
+    return count * params_->sumWeights() / params_->weightOf(flow);
+}
+
+void
+FlowTable::charge(int out, FlowId flow, int flits)
+{
+    counts_[index(out, flow)] += static_cast<std::uint64_t>(flits);
+}
+
+void
+FlowTable::uncharge(int out, FlowId flow, int flits)
+{
+    std::uint64_t &count = counts_[index(out, flow)];
+    const auto amount = static_cast<std::uint64_t>(flits);
+    count = count > amount ? count - amount : 0;
+}
+
+void
+FlowTable::flush()
+{
+    for (auto &c : counts_)
+        c = 0;
+}
+
+std::uint64_t
+FlowTable::countOf(int out, FlowId flow) const
+{
+    return counts_[index(out, flow)];
+}
+
+} // namespace taqos

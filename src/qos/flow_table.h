@@ -1,0 +1,50 @@
+/// \file flow_table.h
+/// Per-router PVC flow state: one bandwidth-counter table per tracked
+/// output port. The Virtual Clock priority of a packet is its flow's
+/// consumed bandwidth scaled by the flow's provisioned rate; lower values
+/// win arbitration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "qos/pvc.h"
+
+namespace taqos {
+
+class FlowTable {
+  public:
+    FlowTable() = default;
+    FlowTable(const PvcParams &params, int numOutputs);
+
+    bool enabled() const { return params_ != nullptr; }
+
+    /// Virtual-clock priority value of `flow` at output `out`
+    /// (lower = higher priority).
+    std::uint64_t priorityOf(int out, FlowId flow) const;
+
+    /// Charge `flits` of bandwidth to `flow` at output `out` (called when
+    /// a transfer wins the output).
+    void charge(int out, FlowId flow, int flits);
+
+    /// Refund a charge whose packet was preempted: the virtual clock
+    /// tracks *delivered* service, so discarded forwarding must not count
+    /// against the victim (it would look like a hog and be victimized
+    /// again — a starvation spiral). Clamps at zero across frame flushes.
+    void uncharge(int out, FlowId flow, int flits);
+
+    /// Frame boundary: flush all counters.
+    void flush();
+
+    std::uint64_t countOf(int out, FlowId flow) const;
+
+  private:
+    std::size_t index(int out, FlowId flow) const;
+
+    const PvcParams *params_ = nullptr;
+    int numOutputs_ = 0;
+    std::vector<std::uint64_t> counts_; ///< [out * numFlows + flow]
+};
+
+} // namespace taqos

@@ -1,0 +1,87 @@
+#include "qos/pvc.h"
+
+#include "common/assert.h"
+
+namespace taqos {
+
+const char *
+qosModeName(QosMode mode)
+{
+    switch (mode) {
+      case QosMode::Pvc: return "pvc";
+      case QosMode::PerFlowQueue: return "per-flow";
+      case QosMode::NoQos: return "no-qos";
+    }
+    return "?";
+}
+
+std::uint32_t
+PvcParams::weightOf(FlowId flow) const
+{
+    if (weights.empty())
+        return 1;
+    TAQOS_ASSERT(flow >= 0 && flow < static_cast<FlowId>(weights.size()),
+                 "flow %d out of range", flow);
+    return weights[static_cast<std::size_t>(flow)];
+}
+
+std::uint64_t
+PvcParams::sumWeights() const
+{
+    if (weights.empty())
+        return static_cast<std::uint64_t>(numFlows);
+    std::uint64_t sum = 0;
+    for (auto w : weights)
+        sum += w;
+    return sum;
+}
+
+std::uint64_t
+PvcParams::quotaFlits(FlowId flow) const
+{
+    if (!quotaEnabled)
+        return 0;
+    const std::uint64_t sum = sumWeights();
+    TAQOS_ASSERT(sum > 0, "zero total weight");
+    return frameLen * weightOf(flow) / sum;
+}
+
+QuotaTracker::QuotaTracker(const PvcParams &params)
+    : params_(&params),
+      injected_(static_cast<std::size_t>(params.numFlows), 0)
+{
+}
+
+bool
+QuotaTracker::compliant(FlowId flow, int flits) const
+{
+    if (!params_->quotaEnabled)
+        return false;
+    const auto idx = static_cast<std::size_t>(flow);
+    TAQOS_ASSERT(idx < injected_.size(), "flow %d out of range", flow);
+    return injected_[idx] + static_cast<std::uint64_t>(flits) <=
+           params_->quotaFlits(flow);
+}
+
+void
+QuotaTracker::charge(FlowId flow, int flits)
+{
+    const auto idx = static_cast<std::size_t>(flow);
+    TAQOS_ASSERT(idx < injected_.size(), "flow %d out of range", flow);
+    injected_[idx] += static_cast<std::uint64_t>(flits);
+}
+
+void
+QuotaTracker::flush()
+{
+    for (auto &v : injected_)
+        v = 0;
+}
+
+std::uint64_t
+QuotaTracker::injectedThisFrame(FlowId flow) const
+{
+    return injected_[static_cast<std::size_t>(flow)];
+}
+
+} // namespace taqos

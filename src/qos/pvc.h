@@ -1,0 +1,104 @@
+/// \file pvc.h
+/// Preemptive Virtual Clock (PVC) configuration and quota tracking.
+///
+/// PVC (Grot, Keckler, Mutlu — MICRO 2009) is the QOS mechanism the paper
+/// deploys in the shared region. Routers keep per-flow bandwidth counters
+/// that are flushed every frame; a packet's priority is its flow's counter
+/// scaled by the flow's provisioned rate (lower = higher priority).
+/// Priority inversion — a high-priority packet blocked by buffered
+/// lower-priority packets — is resolved by preempting (discarding) a
+/// victim, which is NACKed over a dedicated ACK network and retransmitted
+/// from a per-source window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace taqos {
+
+/// Arbitration / QOS discipline of the shared-region routers.
+enum class QosMode {
+    Pvc,          ///< Preemptive Virtual Clock (the paper's scheme)
+    PerFlowQueue, ///< per-flow queueing: preemption-free reference (Fig. 6)
+    NoQos,        ///< round-robin, no flow state (starvation baseline)
+};
+
+const char *qosModeName(QosMode mode);
+
+struct PvcParams {
+    /// Counter flush interval. The paper uses a 50K-cycle frame.
+    Cycle frameLen = 50000;
+
+    /// Number of provisioned flows (64: 8 nodes x 8 injectors).
+    int numFlows = 64;
+
+    /// Per-flow provisioned service weights. Empty = all equal. The OS
+    /// programs these through the chip's flow registers.
+    std::vector<std::uint32_t> weights;
+
+    /// Per-source outstanding-packet retransmission window.
+    int windowLimit = 16;
+
+    /// Reserve one VC per network port for rate-compliant traffic.
+    bool reservedVcEnabled = true;
+
+    /// Non-preemptable reserved quota: the first `weight/sumW * frameLen`
+    /// flits a source injects in a frame cannot be discarded.
+    bool quotaEnabled = true;
+
+    /// Priority-inversion detection thresholds. A blocked packet preempts
+    /// only after waiting `preemptWaitCycles` with no VC, and only victims
+    /// whose scaled bandwidth counter exceeds the requester's by more than
+    /// `preemptGapFlits` flits of service are discarded. Transient
+    /// buffer-full conditions (a packet mid-ejection, a link busy for a
+    /// few cycles) are not inversions.
+    int preemptWaitCycles = 3;
+    /// Victim protection margin: a flow is preemptable only once its local
+    /// bandwidth counter exceeds `quotaProtectFactor x quota` — stochastic
+    /// overshoot just past the reserved share is not hostile traffic.
+    double quotaProtectFactor = 1.5;
+    /// Separate (shorter) threshold before an ongoing lower-priority
+    /// transfer is interrupted: transfers complete within a few cycles, so
+    /// inversion against a streaming packet must be detected faster.
+    int preemptXferWaitCycles = 2;
+    std::uint64_t preemptGapFlits = 48;
+
+    /// `preemptGapFlits` in scaled priority units.
+    std::uint64_t preemptGapScaled() const
+    {
+        return preemptGapFlits * sumWeights();
+    }
+
+    std::uint32_t weightOf(FlowId flow) const;
+    std::uint64_t sumWeights() const;
+
+    /// Reserved (non-preemptable) flits per frame for `flow`.
+    std::uint64_t quotaFlits(FlowId flow) const;
+};
+
+/// Source-side per-frame injection accounting, used to mark packets
+/// rate-compliant at injection time.
+class QuotaTracker {
+  public:
+    explicit QuotaTracker(const PvcParams &params);
+
+    /// Would a packet of `flits` still fall under the reserved quota?
+    bool compliant(FlowId flow, int flits) const;
+
+    /// Charge an injection (called per transmission attempt — replays
+    /// consume bandwidth too).
+    void charge(FlowId flow, int flits);
+
+    /// Frame boundary: clear all counters.
+    void flush();
+
+    std::uint64_t injectedThisFrame(FlowId flow) const;
+
+  private:
+    const PvcParams *params_;
+    std::vector<std::uint64_t> injected_;
+};
+
+} // namespace taqos

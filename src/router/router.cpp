@@ -1,0 +1,466 @@
+#include "router/router.h"
+
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace taqos {
+namespace {
+
+/// Modulus for the NoQos rotating arbiter's cyclic ranking.
+constexpr std::uint32_t kRrModulus = 4096;
+
+std::uint32_t
+cyclicRank(std::uint32_t key, std::uint32_t ptr)
+{
+    return (key + kRrModulus - (ptr % kRrModulus)) % kRrModulus;
+}
+
+} // namespace
+
+Router::Router(NodeId node, QosMode mode, const PvcParams &params)
+    : node_(node), mode_(mode), params_(&params)
+{
+}
+
+InputPort *
+Router::addInputPort(std::unique_ptr<InputPort> port)
+{
+    inputs_.push_back(std::move(port));
+    return inputs_.back().get();
+}
+
+OutputPort *
+Router::addOutputPort(std::unique_ptr<OutputPort> port)
+{
+    outputs_.push_back(std::move(port));
+    return outputs_.back().get();
+}
+
+XbarGroup *
+Router::addXbarGroup()
+{
+    groups_.push_back(std::make_unique<XbarGroup>());
+    return groups_.back().get();
+}
+
+void
+Router::setRoute(NodeId dest, RouteEntry entry)
+{
+    if (static_cast<std::size_t>(dest) >= routes_.size())
+        routes_.resize(static_cast<std::size_t>(dest) + 1);
+    routes_[static_cast<std::size_t>(dest)] = entry;
+}
+
+void
+Router::finalize()
+{
+    int numTables = 0;
+    for (const auto &out : outputs_) {
+        TAQOS_ASSERT(out->tableIdx >= 0, "output %s has no flow table id",
+                     out->name.c_str());
+        numTables = std::max(numTables, out->tableIdx + 1);
+    }
+    // Per-flow bandwidth state exists only for PVC and the per-flow
+    // queueing reference (which schedules by the same virtual clock).
+    if (mode_ != QosMode::NoQos)
+        flowTable_ = FlowTable(*params_, numTables);
+    best_.resize(outputs_.size());
+    rrPtr_.assign(outputs_.size(), 0);
+}
+
+RouteEntry
+Router::routeFor(const NetPacket &pkt) const
+{
+    TAQOS_ASSERT(static_cast<std::size_t>(pkt.dst) < routes_.size(),
+                 "router %d has no route to %d", node_, pkt.dst);
+    RouteEntry entry = routes_[static_cast<std::size_t>(pkt.dst)];
+    TAQOS_ASSERT(entry.outPort >= 0, "router %d: unroutable dest %d", node_,
+                 pkt.dst);
+    if (entry.numParallel > 1) {
+        // Replicated mesh: spread packets across the parallel channels.
+        entry.outPort +=
+            static_cast<int>(pkt.id % static_cast<PacketId>(entry.numParallel));
+        entry.numParallel = 1;
+    }
+    return entry;
+}
+
+std::uint64_t
+Router::priorityFor(const NetPacket &pkt, const InputPort &in,
+                    int outPort) const
+{
+    if (mode_ == QosMode::NoQos)
+        return 0;
+    if (in.usesCarriedPrio || !flowTable_.enabled())
+        return pkt.carriedPrio;
+    return flowTable_.priorityOf(
+        outputs_[static_cast<std::size_t>(outPort)]->tableIdx, pkt.flow);
+}
+
+bool
+Router::betterThan(const Candidate &a, const Candidate &b, int outPort) const
+{
+    if (mode_ == QosMode::NoQos) {
+        return cyclicRank(a.rrKey, rrPtr_[static_cast<std::size_t>(outPort)]) <
+               cyclicRank(b.rrKey, rrPtr_[static_cast<std::size_t>(outPort)]);
+    }
+    if (a.prio != b.prio)
+        return a.prio < b.prio;
+    if (a.age != b.age)
+        return a.age < b.age;
+    if (a.pkt->flow != b.pkt->flow)
+        return a.pkt->flow < b.pkt->flow;
+    return a.rrKey < b.rrKey;
+}
+
+void
+Router::collectCandidates(TickContext &ctx)
+{
+    for (auto &b : best_)
+        b.pkt = nullptr;
+
+    std::uint32_t enumIdx = 0;
+    for (const auto &inPtr : inputs_) {
+        InputPort *in = inPtr.get();
+        const Cycle ready = static_cast<Cycle>(in->pipelineDelay - 1);
+
+        if (in->kind == InputPort::Kind::Injection) {
+            for (InjectorQueue *inj : in->injectors) {
+                ++enumIdx;
+                if (inj->queue.empty())
+                    continue;
+                NetPacket *pkt = inj->queue.front();
+                // The retransmission window gates new injections; a NACKed
+                // packet already owns its slot.
+                if (!pkt->inWindow && !inj->windowOpen())
+                    continue;
+                if (ctx.now < pkt->queuedCycle + ready)
+                    continue;
+                Candidate cand;
+                cand.pkt = pkt;
+                cand.port = in;
+                cand.vc = -1;
+                cand.inj = inj;
+                cand.age = pkt->genCycle;
+                cand.rrKey = enumIdx;
+                const RouteEntry route = routeFor(*pkt);
+                cand.outPort = route.outPort;
+                cand.dropIdx = route.dropIdx;
+                cand.prio = priorityFor(*pkt, *in, cand.outPort);
+                auto &best = best_[static_cast<std::size_t>(cand.outPort)];
+                if (best.pkt == nullptr ||
+                    betterThan(cand, best, cand.outPort)) {
+                    best = cand;
+                }
+            }
+            continue;
+        }
+
+        for (int v = 0; v < static_cast<int>(in->vcs.size()); ++v) {
+            ++enumIdx;
+            const VirtualChannel &vc = in->vcs[static_cast<std::size_t>(v)];
+            if (vc.state() != VirtualChannel::State::Reserved)
+                continue; // Free, or already draining towards the next hop
+            if (!vc.arrived(ctx.now) || ctx.now < vc.headArrival() + ready)
+                continue;
+            NetPacket *pkt = vc.packet();
+            Candidate cand;
+            cand.pkt = pkt;
+            cand.port = in;
+            cand.vc = v;
+            cand.age = pkt->genCycle;
+            cand.rrKey = enumIdx;
+            const RouteEntry route = routeFor(*pkt);
+            cand.outPort = route.outPort;
+            cand.dropIdx = route.dropIdx;
+            cand.prio = priorityFor(*pkt, *in, cand.outPort);
+            auto &best = best_[static_cast<std::size_t>(cand.outPort)];
+            if (best.pkt == nullptr || betterThan(cand, best, cand.outPort))
+                best = cand;
+        }
+    }
+}
+
+bool
+Router::validate(const Candidate &cand) const
+{
+    if (cand.vc >= 0) {
+        const VirtualChannel &vc =
+            cand.port->vcs[static_cast<std::size_t>(cand.vc)];
+        return vc.state() == VirtualChannel::State::Reserved &&
+               vc.packet() == cand.pkt &&
+               cand.pkt->state == PacketState::InFlight;
+    }
+    return !cand.inj->queue.empty() && cand.inj->queue.front() == cand.pkt &&
+           cand.pkt->state == PacketState::Queued;
+}
+
+void
+Router::tryGrant(Candidate &cand, TickContext &ctx)
+{
+    if (!validate(cand))
+        return;
+    OutputPort *out = outputs_[static_cast<std::size_t>(cand.outPort)].get();
+    NetPacket *pkt = cand.pkt;
+
+    if (!out->linkFree(ctx.now) || out->transfer().active) {
+        // Blocked by an ongoing transfer on the output channel. A
+        // higher-priority arrival does not interrupt the transfer — but a
+        // preemption does (Sec. 4): if the inversion persists past the
+        // wait threshold, the streaming packet is discarded.
+        if (pkt->blockedSince == kNoCycle)
+            pkt->blockedSince = ctx.now;
+        if (mode_ == QosMode::Pvc && out->transfer().active &&
+            ctx.now - pkt->blockedSince >=
+                static_cast<Cycle>(params_->preemptXferWaitCycles)) {
+            tryPreempt(cand,
+                       out->drops[static_cast<std::size_t>(cand.dropIdx)]
+                           .down,
+                       ctx);
+        }
+        return;
+    }
+    if (cand.port->group != nullptr && !cand.port->group->freeAt(ctx.now))
+        return;
+
+    const bool fromInjection = cand.vc < 0;
+    const bool compliant = fromInjection
+        ? (ctx.quota != nullptr &&
+           ctx.quota->compliant(pkt->flow, pkt->sizeFlits))
+        : pkt->rateCompliant;
+
+    OutputPort::Drop &drop =
+        out->drops[static_cast<std::size_t>(cand.dropIdx)];
+    InputPort *down = drop.down;
+    const int vcIdx = down->findFreeVc(ctx.now, compliant);
+    if (vcIdx < 0) {
+        // Inversion detection: transient buffer-full is not an inversion;
+        // the requester must have been stuck for a threshold number of
+        // cycles before PVC pays the preemption cost.
+        if (pkt->blockedSince == kNoCycle)
+            pkt->blockedSince = ctx.now;
+        if (mode_ == QosMode::Pvc &&
+            ctx.now - pkt->blockedSince >=
+                static_cast<Cycle>(params_->preemptWaitCycles)) {
+            tryPreempt(cand, down, ctx);
+        }
+        return;
+    }
+    pkt->blockedSince = kNoCycle;
+
+    if (fromInjection) {
+        cand.inj->queue.pop_front();
+        pkt->beginAttempt(ctx.now);
+        // The compliance mark protects this packet at hops that reuse the
+        // source-computed priority (DPS pass-through). Stamp it from the
+        // source router's per-output counter — the same basis those hops'
+        // upstream arbitration charged — not the source-global meter,
+        // which conflates traffic to unrelated destinations.
+        pkt->rateCompliant = flowTable_.enabled()
+            ? quotaProtected(*pkt, true, out->tableIdx)
+            : compliant;
+        // The reserved quota meters the source's own demand; a replay is
+        // the network's fault and does not burn reserved share.
+        if (ctx.quota != nullptr && pkt->attempt == 1)
+            ctx.quota->charge(pkt->flow, pkt->sizeFlits);
+        if (!pkt->inWindow) {
+            pkt->inWindow = true;
+            ++cand.inj->outstanding;
+        }
+        if (ctx.metrics != nullptr)
+            ++ctx.metrics->injectedAttempts;
+    }
+
+    // Priority reuse: the next hop (a DPS repeater, or any router without
+    // local state for this flow) arbitrates with the value computed here.
+    pkt->carriedPrio = cand.prio;
+    if (flowTable_.enabled() && !cand.port->usesCarriedPrio) {
+        flowTable_.charge(out->tableIdx, pkt->flow, pkt->sizeFlits);
+        pkt->logCharge(&flowTable_, out->tableIdx);
+    }
+
+    const Cycle headArrival = ctx.now + 1 + static_cast<Cycle>(drop.wireDelay);
+    const Cycle tailArrival =
+        headArrival + static_cast<Cycle>(pkt->sizeFlits) - 1;
+    down->vcs[static_cast<std::size_t>(vcIdx)].reserve(pkt, headArrival,
+                                                       tailArrival);
+    pkt->addLoc(down, vcIdx);
+
+    const VcRef srcVc = fromInjection ? VcRef{nullptr, -1}
+                                      : VcRef{cand.port, cand.vc};
+    out->startTransfer(pkt, cand.dropIdx, vcIdx, srcVc, ctx.now);
+
+    if (cand.port->group != nullptr)
+        cand.port->group->occupy(ctx.now, pkt->sizeFlits);
+
+    if (mode_ == QosMode::NoQos)
+        rrPtr_[static_cast<std::size_t>(cand.outPort)] = cand.rrKey + 1;
+}
+
+bool
+Router::quotaProtected(const NetPacket &pkt, bool localState,
+                       int tableIdx) const
+{
+    if (!params_->quotaEnabled)
+        return false;
+    // "The first N flits from each source [per frame] are non-preemptable":
+    // judged against the local bandwidth counter where the router keeps
+    // one, or the compliance mark stamped at injection on DPS pass-through
+    // paths (priority reuse).
+    if (localState) {
+        const double cap = params_->quotaProtectFactor *
+                           static_cast<double>(params_->quotaFlits(pkt.flow));
+        return static_cast<double>(flowTable_.countOf(tableIdx, pkt.flow)) <=
+               cap;
+    }
+    return pkt.rateCompliant;
+}
+
+bool
+Router::tryPreempt(const Candidate &cand, InputPort *down, TickContext &ctx)
+{
+    // Priority inversion: the requester is blocked on its output by
+    // buffered lower-priority packets (no downstream VC, or the channel is
+    // streaming someone else's packet). Discard the lowest-priority
+    // blocker, subject to:
+    //  - reserved-quota protection ("the first N flits from each source
+    //    in a frame are non-preemptable"): a flow whose local bandwidth
+    //    counter is still within its provisioned per-frame share cannot be
+    //    a victim — with every source transmitting at its fair share all
+    //    traffic stays under the cap, throttling preemptions (Sec. 5.3);
+    //  - a minimum priority gap (counter noise is not an inversion).
+    // Victims are taken from packets *waiting* for this output: the
+    // occupants of the downstream VCs and the rival packets buffered at
+    // this router's inputs. On equal priority a victim that is not
+    // mid-transfer is preferred — discarding work already on a wire costs
+    // throughput (Sec. 5.3 notes most victims fall at or near the source).
+    const bool localState =
+        flowTable_.enabled() && !cand.port->usesCarriedPrio;
+    const int tbl =
+        outputs_[static_cast<std::size_t>(cand.outPort)]->tableIdx;
+
+    NetPacket *victim = nullptr;
+    std::uint64_t victimPrio = 0;
+
+    auto consider = [&](NetPacket *pkt) {
+        if (pkt == nullptr || pkt == cand.pkt || pkt == victim)
+            return;
+        if (quotaProtected(*pkt, localState, tbl))
+            return;
+        const std::uint64_t prio = localState
+            ? flowTable_.priorityOf(tbl, pkt->flow)
+            : pkt->carriedPrio;
+        if (prio <= cand.prio ||
+            prio - cand.prio <= params_->preemptGapScaled()) {
+            return;
+        }
+        if (victim == nullptr || prio > victimPrio ||
+            (prio == victimPrio && victim->numXfers > 0 &&
+             pkt->numXfers == 0)) {
+            victim = pkt;
+            victimPrio = prio;
+        }
+    };
+
+    // Downstream VC occupants (waiting or still arriving — not the ones
+    // already draining onwards).
+    for (const auto &vc : down->vcs) {
+        if (vc.state() == VirtualChannel::State::Draining)
+            continue;
+        consider(vc.packet());
+    }
+    // Rival packets buffered at this router and routed to the same output.
+    for (const auto &inPtr : inputs_) {
+        for (const auto &vc : inPtr->vcs) {
+            if (vc.state() != VirtualChannel::State::Reserved)
+                continue;
+            NetPacket *pkt = vc.packet();
+            if (pkt == nullptr || routeFor(*pkt).outPort != cand.outPort)
+                continue;
+            consider(pkt);
+        }
+    }
+
+    if (victim == nullptr)
+        return false;
+    killPacket(victim, ctx);
+    return true;
+}
+
+void
+Router::killPacket(NetPacket *victim, TickContext &ctx)
+{
+    TAQOS_ASSERT(victim->state == PacketState::InFlight,
+                 "preempting packet in state %d",
+                 static_cast<int>(victim->state));
+
+    double wasted = victim->hopsThisAttempt;
+    while (victim->numXfers > 0)
+        wasted += victim->xfers[0]->cancelTransfer(ctx.now);
+
+    for (int i = 0; i < victim->numLocs; ++i) {
+        const VcRef &loc = victim->locs[static_cast<std::size_t>(i)];
+        loc.port->vcs[static_cast<std::size_t>(loc.vc)].free(
+            ctx.now + static_cast<Cycle>(loc.port->creditDelay));
+    }
+    victim->clearLocs();
+    victim->state = PacketState::Dropped;
+    ++victim->preemptions;
+
+    // Refund the attempt's bandwidth charges: the discarded service must
+    // not count against the victim's virtual clock.
+    for (int i = 0; i < victim->numCharges; ++i) {
+        auto *table = static_cast<FlowTable *>(
+            victim->charges[static_cast<std::size_t>(i)].table);
+        table->uncharge(victim->charges[static_cast<std::size_t>(i)].tableIdx,
+                        victim->flow, victim->sizeFlits);
+    }
+    victim->numCharges = 0;
+
+    if (ctx.metrics != nullptr) {
+        ++ctx.metrics->preemptionEvents;
+        ctx.metrics->wastedHops += wasted;
+    }
+    TAQOS_ASSERT(ctx.ack != nullptr, "PVC preemption requires an ACK network");
+    ctx.ack->send(ctx.now, std::abs(node_ - victim->src), victim,
+                  /*isNack=*/true);
+    TAQOS_LOG_DEBUG("cycle %llu: node %d preempted packet %llu "
+                    "(flow %d, %.1f hops wasted)",
+                    static_cast<unsigned long long>(ctx.now), node_,
+                    static_cast<unsigned long long>(victim->id),
+                    victim->flow, wasted);
+}
+
+void
+Router::tickCompletions(Cycle now)
+{
+    for (const auto &out : outputs_)
+        out->tickCompletion(now);
+}
+
+void
+Router::tickArbitrate(TickContext &ctx)
+{
+    collectCandidates(ctx);
+    for (std::size_t o = 0; o < outputs_.size(); ++o) {
+        if (best_[o].pkt != nullptr)
+            tryGrant(best_[o], ctx);
+    }
+}
+
+void
+Router::tick(TickContext &ctx)
+{
+    tickCompletions(ctx.now);
+    tickArbitrate(ctx);
+}
+
+void
+Router::frameFlush()
+{
+    if (flowTable_.enabled())
+        flowTable_.flush();
+}
+
+} // namespace taqos

@@ -1,0 +1,139 @@
+/// \file router.h
+/// A shared-region router with PVC quality-of-service support.
+///
+/// One Router class covers all five evaluated configurations; the topology
+/// builder (src/topo) instantiates the port structure that makes it a mesh
+/// xN, MECS, or DPS router. DPS intermediate "repeaters" are modelled as
+/// extra pass-through input ports with a 1-cycle pipeline and no crossbar
+/// group — the 2:1 mux of Figure 2(c).
+///
+/// Per-cycle operation:
+///   1. tickCompletion on every output (tail departures free source VCs).
+///   2. Virtual-channel allocation per output port: the highest-priority
+///      eligible packet gets a downstream VC and starts streaming
+///      (virtual cut-through: the whole packet follows, crossbar
+///      arbitration is subsumed by the allocation).
+///   3. On allocation failure, PVC preemption: if a buffered lower-priority
+///      non-rate-compliant packet is blocking the requester (priority
+///      inversion), it is discarded, NACKed to its source, and replayed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "noc/metrics.h"
+#include "noc/packet.h"
+#include "noc/ports.h"
+#include "qos/ack_network.h"
+#include "qos/flow_table.h"
+#include "qos/pvc.h"
+
+namespace taqos {
+
+/// Per-destination routing decision at this router.
+struct RouteEntry {
+    int outPort = -1;     ///< first of `numParallel` equivalent outputs
+    int numParallel = 1;  ///< replicated mesh channels to spread across
+    int dropIdx = 0;      ///< drop on the chosen output (MECS express span)
+};
+
+/// Shared services handed to routers each cycle.
+struct TickContext {
+    Cycle now = 0;
+    QuotaTracker *quota = nullptr;
+    AckNetwork *ack = nullptr;
+    SimMetrics *metrics = nullptr;
+};
+
+class Router {
+  public:
+    Router(NodeId node, QosMode mode, const PvcParams &params);
+
+    NodeId node() const { return node_; }
+    QosMode mode() const { return mode_; }
+
+    // --- construction (used by the topology builders) ---
+    InputPort *addInputPort(std::unique_ptr<InputPort> port);
+    OutputPort *addOutputPort(std::unique_ptr<OutputPort> port);
+    XbarGroup *addXbarGroup();
+    void setRoute(NodeId dest, RouteEntry entry);
+    /// Must be called once all output ports exist (sizes the flow table).
+    void finalize();
+
+    const std::vector<std::unique_ptr<InputPort>> &inputs() const
+    {
+        return inputs_;
+    }
+    const std::vector<std::unique_ptr<OutputPort>> &outputs() const
+    {
+        return outputs_;
+    }
+    OutputPort *output(int idx) { return outputs_[static_cast<std::size_t>(idx)].get(); }
+    const FlowTable &flowTable() const { return flowTable_; }
+
+    /// Routing decision for a packet sitting at this router.
+    RouteEntry routeFor(const NetPacket &pkt) const;
+
+    /// One simulation cycle, phase 1: retire transfers whose tail has
+    /// departed. Must run on ALL routers before any arbitration so that a
+    /// packet's completion is visible regardless of router tick order.
+    void tickCompletions(Cycle now);
+
+    /// One simulation cycle, phase 2: VC allocation / preemption.
+    void tickArbitrate(TickContext &ctx);
+
+    /// Both phases (single-router unit tests only).
+    void tick(TickContext &ctx);
+
+    /// PVC frame boundary: flush bandwidth counters.
+    void frameFlush();
+
+    /// Discard a packet (preemption): tears down its VC chain and
+    /// in-flight transfers, NACKs the source. Public so tests can inject
+    /// failures directly.
+    void killPacket(NetPacket *victim, TickContext &ctx);
+
+  private:
+    struct Candidate {
+        NetPacket *pkt = nullptr;
+        InputPort *port = nullptr;
+        int vc = -1;               ///< -1 when from an injector queue
+        InjectorQueue *inj = nullptr;
+        std::uint64_t prio = 0;
+        Cycle age = 0;
+        std::uint32_t rrKey = 0; ///< round-robin position for NoQos
+        int outPort = -1;
+        int dropIdx = 0;
+    };
+
+    void collectCandidates(TickContext &ctx);
+    bool betterThan(const Candidate &a, const Candidate &b, int outPort) const;
+    void tryGrant(Candidate &cand, TickContext &ctx);
+    bool tryPreempt(const Candidate &cand, InputPort *down, TickContext &ctx);
+    /// Is `pkt` shielded from preemption by the reserved per-frame quota?
+    bool quotaProtected(const NetPacket &pkt, bool localState,
+                        int tableIdx) const;
+    std::uint64_t priorityFor(const NetPacket &pkt, const InputPort &in,
+                              int outPort) const;
+    bool validate(const Candidate &cand) const;
+
+    NodeId node_;
+    QosMode mode_;
+    const PvcParams *params_;
+
+    std::vector<std::unique_ptr<InputPort>> inputs_;
+    std::vector<std::unique_ptr<OutputPort>> outputs_;
+    std::vector<std::unique_ptr<XbarGroup>> groups_;
+    std::vector<RouteEntry> routes_;
+    FlowTable flowTable_;
+
+    /// Best candidate per output for the current cycle.
+    std::vector<Candidate> best_;
+    /// NoQos rotating-arbiter pointers, one per output.
+    std::vector<std::uint32_t> rrPtr_;
+};
+
+} // namespace taqos

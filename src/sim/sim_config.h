@@ -1,0 +1,26 @@
+/// \file sim_config.h
+/// Run-phase parameters shared by the experiment runners: open-loop
+/// measurements warm the network up, measure, then drain.
+#pragma once
+
+#include "common/types.h"
+
+namespace taqos {
+
+struct RunPhases {
+    Cycle warmup = 20000;
+    Cycle measure = 50000;
+    Cycle drain = 30000;
+
+    Cycle total() const { return warmup + measure + drain; }
+    Cycle measureEnd() const { return warmup + measure; }
+};
+
+/// Shorter phases for unit/integration tests.
+inline RunPhases
+testPhases()
+{
+    return RunPhases{2000, 6000, 4000};
+}
+
+} // namespace taqos

@@ -1,0 +1,141 @@
+#include "topo/geometry.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace taqos {
+namespace {
+
+constexpr int kFlitBits = 128; // 16-byte links (Table 1)
+
+void
+addCommonParts(RouterGeometry &geom, const ColumnConfig &cfg,
+               const GeometryOptions &opt)
+{
+    geom.flitBits = kFlitBits;
+    geom.rowBuffers.push_back(
+        BufferGroup{opt.rowPorts, opt.rowVcsPerPort, cfg.flitsPerVc});
+    // Terminal injection staging (1 injection VC) + ejection VCs.
+    geom.rowBuffers.push_back(BufferGroup{1, 1, cfg.flitsPerVc});
+    geom.rowBuffers.push_back(BufferGroup{1, cfg.ejectionVcs, cfg.flitsPerVc});
+}
+
+int
+columnVcs(TopologyKind kind, const ColumnConfig &cfg,
+          const GeometryOptions &opt)
+{
+    const int vcs = cfg.vcsPerPort > 0 ? cfg.vcsPerPort
+                                       : defaultVcsPerPort(kind);
+    // Without QOS there is no reserved rate-compliant VC.
+    return opt.qosEnabled ? vcs : vcs - 1;
+}
+
+void
+setFlowState(RouterGeometry &geom, const ColumnConfig &cfg,
+             const GeometryOptions &opt, int numOutputs)
+{
+    if (!opt.qosEnabled)
+        return;
+    geom.flowTableFlows = cfg.numFlows();
+    geom.flowTableOutputs = numOutputs;
+    geom.flowCounterBits = 24;
+}
+
+/// Feed-line length from stacked VC arrays to a shared crossbar port.
+double
+inputFeedUm(int ports, int vcs, int flitsPerVc)
+{
+    const TechParams tech = tech32nm();
+    const double arrayAreaUm2 = static_cast<double>(vcs) * flitsPerVc *
+                                kFlitBits * tech.bufferBitAreaUm2;
+    return 0.5 * static_cast<double>(ports) * std::sqrt(arrayAreaUm2);
+}
+
+} // namespace
+
+RouterGeometry
+columnRouterGeometry(TopologyKind kind, const ColumnConfig &cfg, NodeId node,
+                     const GeometryOptions &opt)
+{
+    TAQOS_ASSERT(node >= 0 && node < cfg.numNodes, "node %d out of range",
+                 node);
+    const int n = cfg.numNodes;
+    const int vcs = columnVcs(kind, cfg, opt);
+    const bool interior = node > 0 && node < n - 1;
+
+    RouterGeometry geom;
+    geom.name = topologyName(kind);
+    addCommonParts(geom, cfg, opt);
+
+    switch (kind) {
+      case TopologyKind::MeshX1:
+      case TopologyKind::MeshX2:
+      case TopologyKind::MeshX4: {
+        const int rep = replicationOf(kind);
+        const int colInputs = rep * (interior ? 2 : 1);
+        geom.columnBuffers.push_back(
+            BufferGroup{colInputs, vcs, cfg.flitsPerVc});
+        // Inputs: column + terminal + 2 shared row ports.
+        // Outputs: column + terminal + east/west row outputs.
+        geom.xbarInputs = colInputs + 3;
+        geom.xbarOutputs = colInputs + 3;
+        setFlowState(geom, cfg, opt, geom.xbarOutputs);
+        break;
+      }
+      case TopologyKind::Mecs: {
+        const int colInputs = n - 1; // one port per other node
+        geom.columnBuffers.push_back(
+            BufferGroup{colInputs, vcs, cfg.flitsPerVc});
+        // Asymmetric router: all same-direction inputs share one switch
+        // port; two network outputs (one per direction).
+        geom.xbarInputs = 5;  // north group, south group, term, rowE, rowW
+        geom.xbarOutputs = 5; // north, south, term, east, west
+        geom.xbarInputFeedUm = inputFeedUm(colInputs, vcs, cfg.flitsPerVc);
+        setFlowState(geom, cfg, opt, geom.xbarOutputs);
+        break;
+      }
+      case TopologyKind::FlatButterfly: {
+        const int colInputs = n - 1; // dedicated channel per other node
+        geom.columnBuffers.push_back(
+            BufferGroup{colInputs, vcs, cfg.flitsPerVc});
+        // Every channel gets its own switch port: 7 network inputs +
+        // terminal + 2 row ports in; 7 network + terminal + 2 row out.
+        geom.xbarInputs = colInputs + 3;
+        geom.xbarOutputs = colInputs + 3;
+        setFlowState(geom, cfg, opt, geom.xbarOutputs);
+        break;
+      }
+      case TopologyKind::Dps: {
+        int passPorts = 0;
+        for (NodeId d = 0; d < n; ++d) {
+            if (d == node)
+                continue;
+            if ((node < d && node > 0) || (node > d && node < n - 1))
+                ++passPorts;
+        }
+        const int destPorts = (node > 0 ? 1 : 0) + (node < n - 1 ? 1 : 0);
+        geom.columnBuffers.push_back(
+            BufferGroup{passPorts, vcs, cfg.flitsPerVc});
+        geom.columnBuffers.push_back(
+            BufferGroup{destPorts, vcs, cfg.flitsPerVc});
+        // Source crossbar: injection + terminating subnet inputs in;
+        // one output per subnet + terminal + east/west row outputs out.
+        // Pass-through traffic bypasses the crossbar (2:1 muxes).
+        geom.xbarInputs = 3 + destPorts;
+        geom.xbarOutputs = (n - 1) + 3;
+        setFlowState(geom, cfg, opt, geom.xbarOutputs);
+        break;
+      }
+    }
+    return geom;
+}
+
+RouterGeometry
+representativeGeometry(TopologyKind kind, const ColumnConfig &cfg,
+                       const GeometryOptions &opt)
+{
+    return columnRouterGeometry(kind, cfg, cfg.numNodes / 2, opt);
+}
+
+} // namespace taqos

@@ -1,0 +1,36 @@
+/// \file geometry.h
+/// Structural router descriptions feeding the area/energy models
+/// (Figures 3 and 7). These mirror the simulated port structure plus the
+/// parts the column simulation abstracts away (east/west row outputs).
+#pragma once
+
+#include "power/router_power.h"
+#include "topo/topology.h"
+
+namespace taqos {
+
+struct GeometryOptions {
+    /// Include PVC hardware (flow-state tables, the reserved VC). Turned
+    /// off to cost the QOS-free routers outside the shared region.
+    bool qosEnabled = true;
+
+    /// Row-input buffering, identical across topologies (Fig. 3's dotted
+    /// line): 7 row ports x 4 VCs, plus the 1-VC terminal injection port.
+    int rowPorts = 7;
+    int rowVcsPerPort = 4;
+};
+
+/// Geometry of the shared-column router at `node` for `kind`. Mesh and
+/// MECS routers are uniform; DPS routers vary with position (pass-through
+/// port count), so `node` matters.
+RouterGeometry columnRouterGeometry(TopologyKind kind,
+                                    const ColumnConfig &cfg, NodeId node,
+                                    const GeometryOptions &opt = {});
+
+/// Representative router for a topology (interior node), used for the
+/// single per-topology bars of Figures 3 and 7.
+RouterGeometry representativeGeometry(TopologyKind kind,
+                                      const ColumnConfig &cfg,
+                                      const GeometryOptions &opt = {});
+
+} // namespace taqos

@@ -1,0 +1,93 @@
+#include "traffic/generator.h"
+
+#include "common/assert.h"
+
+namespace taqos {
+
+TrafficGenerator::TrafficGenerator(const ColumnConfig &col,
+                                   const TrafficConfig &traffic)
+    : col_(col), traffic_(traffic)
+{
+    Rng master(traffic_.seed);
+    const int flows = col_.numFlows();
+    rng_.reserve(static_cast<std::size_t>(flows));
+    genProb_.reserve(static_cast<std::size_t>(flows));
+    for (FlowId f = 0; f < flows; ++f) {
+        rng_.push_back(master.split());
+        const double rate =
+            traffic_.flowActive(f) ? traffic_.rateOf(f) : 0.0;
+        genProb_.push_back(rate / traffic_.meanPacketFlits());
+    }
+}
+
+NodeId
+TrafficGenerator::pickDest(FlowId flow)
+{
+    const NodeId src = col_.nodeOfFlow(flow);
+    Rng &rng = rng_[static_cast<std::size_t>(flow)];
+    switch (traffic_.pattern) {
+      case TrafficPattern::UniformRandom: {
+        // Uniform over the other nodes; local terminal accesses do not
+        // exercise the column network.
+        NodeId d = static_cast<NodeId>(
+            rng.nextBelow(static_cast<std::uint64_t>(col_.numNodes - 1)));
+        if (d >= src)
+            ++d;
+        return d;
+      }
+      case TrafficPattern::Tornado:
+        return static_cast<NodeId>((src + col_.numNodes / 2) %
+                                   col_.numNodes);
+      case TrafficPattern::Hotspot:
+        return traffic_.hotspotNode;
+    }
+    TAQOS_UNREACHABLE("bad pattern");
+}
+
+void
+TrafficGenerator::tick(Cycle now, PacketPool &pool,
+                       std::vector<InjectorQueue> &injectors,
+                       SimMetrics &metrics)
+{
+    if (now >= traffic_.genUntil)
+        return;
+    for (FlowId f = 0; f < col_.numFlows(); ++f) {
+        const double p = genProb_[static_cast<std::size_t>(f)];
+        if (p <= 0.0)
+            continue;
+        Rng &rng = rng_[static_cast<std::size_t>(f)];
+        if (!rng.bernoulli(p))
+            continue;
+
+        InjectorQueue &inj = injectors[static_cast<std::size_t>(f)];
+        // Size and destination are drawn even when suppressed so that the
+        // downstream random sequence is unperturbed.
+        const int size = rng.bernoulli(traffic_.shortPacketProb)
+            ? traffic_.shortFlits
+            : traffic_.longFlits;
+        const NodeId dest = pickDest(f);
+
+        if (inj.queue.size() >= traffic_.maxQueueDepth) {
+            ++suppressed_;
+            continue;
+        }
+
+        NetPacket *pkt = pool.alloc();
+        pkt->flow = f;
+        pkt->src = col_.nodeOfFlow(f);
+        pkt->dst = dest;
+        pkt->sizeFlits = size;
+        pkt->genCycle = now;
+        pkt->queuedCycle = now;
+        pkt->state = PacketState::Queued;
+        pkt->measured = metrics.inWindow(now);
+        inj.queue.push_back(pkt);
+
+        ++metrics.generatedPackets;
+        metrics.generatedFlits += static_cast<std::uint64_t>(size);
+        if (pkt->measured)
+            ++metrics.measuredGenerated;
+    }
+}
+
+} // namespace taqos

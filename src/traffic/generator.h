@@ -1,0 +1,41 @@
+/// \file generator.h
+/// Stochastic packet generation: one independent Bernoulli process per
+/// injector, seeded deterministically so a run is exactly reproducible
+/// (and identical across QOS modes, enabling the Fig. 6 slowdown
+/// comparison against the preemption-free reference).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "noc/metrics.h"
+#include "noc/packet.h"
+#include "noc/ports.h"
+#include "topo/topology.h"
+#include "traffic/pattern.h"
+
+namespace taqos {
+
+class TrafficGenerator {
+  public:
+    TrafficGenerator(const ColumnConfig &col, const TrafficConfig &traffic);
+
+    /// Generate this cycle's packets into the injector queues.
+    void tick(Cycle now, PacketPool &pool,
+              std::vector<InjectorQueue> &injectors, SimMetrics &metrics);
+
+    /// Packets whose generation was skipped due to a full source queue.
+    std::uint64_t suppressed() const { return suppressed_; }
+
+    /// Destination for one packet of `flow` (exposed for tests).
+    NodeId pickDest(FlowId flow);
+
+  private:
+    ColumnConfig col_;
+    TrafficConfig traffic_;
+    std::vector<Rng> rng_;        ///< one stream per flow
+    std::vector<double> genProb_; ///< per-cycle packet probability per flow
+    std::uint64_t suppressed_ = 0;
+};
+
+} // namespace taqos

@@ -1,0 +1,31 @@
+#include "traffic/pattern.h"
+
+#include "common/strings.h"
+
+namespace taqos {
+
+const char *
+patternName(TrafficPattern pattern)
+{
+    switch (pattern) {
+      case TrafficPattern::UniformRandom: return "uniform";
+      case TrafficPattern::Tornado: return "tornado";
+      case TrafficPattern::Hotspot: return "hotspot";
+    }
+    return "?";
+}
+
+std::optional<TrafficPattern>
+parsePattern(const std::string &name)
+{
+    const std::string n = strLower(strTrim(name));
+    if (n == "uniform" || n == "uniform_random" || n == "ur")
+        return TrafficPattern::UniformRandom;
+    if (n == "tornado")
+        return TrafficPattern::Tornado;
+    if (n == "hotspot")
+        return TrafficPattern::Hotspot;
+    return std::nullopt;
+}
+
+} // namespace taqos

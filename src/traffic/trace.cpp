@@ -1,0 +1,152 @@
+#include "traffic/trace.h"
+
+#include "common/assert.h"
+#include "common/strings.h"
+
+namespace taqos {
+
+TrafficTrace::TrafficTrace(std::vector<TraceEntry> entries)
+    : entries_(std::move(entries))
+{
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+        TAQOS_ASSERT(entries_[i - 1].cycle <= entries_[i].cycle,
+                     "trace entries out of order at %zu", i);
+    }
+}
+
+void
+TrafficTrace::append(TraceEntry entry)
+{
+    TAQOS_ASSERT(entries_.empty() || entries_.back().cycle <= entry.cycle,
+                 "trace entries must be appended in cycle order");
+    entries_.push_back(entry);
+}
+
+Cycle
+TrafficTrace::lastCycle() const
+{
+    return entries_.empty() ? 0 : entries_.back().cycle;
+}
+
+std::uint64_t
+TrafficTrace::totalFlits() const
+{
+    std::uint64_t flits = 0;
+    for (const auto &e : entries_)
+        flits += static_cast<std::uint64_t>(e.sizeFlits);
+    return flits;
+}
+
+TrafficTrace
+TrafficTrace::record(const ColumnConfig &col, const TrafficConfig &traffic,
+                     Cycle cycles)
+{
+    ColumnConfig canon = col;
+    canon.canonicalize();
+    TrafficGenerator gen(canon, traffic);
+
+    PacketPool pool;
+    SimMetrics metrics(canon.numFlows());
+    std::vector<InjectorQueue> injectors(
+        static_cast<std::size_t>(canon.numFlows()));
+    for (FlowId f = 0; f < canon.numFlows(); ++f)
+        injectors[static_cast<std::size_t>(f)].flow = f;
+
+    TrafficTrace trace;
+    for (Cycle c = 0; c < cycles; ++c) {
+        gen.tick(c, pool, injectors, metrics);
+        // Drain what this cycle produced, in flow order (stable).
+        for (auto &inj : injectors) {
+            while (!inj.queue.empty()) {
+                NetPacket *pkt = inj.queue.front();
+                inj.queue.pop_front();
+                trace.append(TraceEntry{c, pkt->flow, pkt->dst,
+                                        pkt->sizeFlits});
+                pkt->state = PacketState::Queued;
+                pool.release(pkt);
+            }
+        }
+    }
+    return trace;
+}
+
+std::string
+TrafficTrace::toCsv() const
+{
+    std::string out = "cycle,flow,dst,size\n";
+    for (const auto &e : entries_) {
+        out += strFormat("%llu,%d,%d,%d\n",
+                         static_cast<unsigned long long>(e.cycle), e.flow,
+                         e.dst, e.sizeFlits);
+    }
+    return out;
+}
+
+TrafficTrace
+TrafficTrace::fromCsv(const std::string &csv)
+{
+    TrafficTrace trace;
+    bool first = true;
+    for (const auto &line : strSplit(csv, '\n')) {
+        const std::string trimmed = strTrim(line);
+        if (trimmed.empty())
+            continue;
+        if (first) {
+            first = false;
+            if (trimmed.rfind("cycle", 0) == 0)
+                continue; // header
+        }
+        const auto fields = strSplit(trimmed, ',');
+        TAQOS_ASSERT(fields.size() == 4, "bad trace line: %s",
+                     trimmed.c_str());
+        TraceEntry e;
+        e.cycle = std::strtoull(fields[0].c_str(), nullptr, 10);
+        e.flow = static_cast<FlowId>(std::atoi(fields[1].c_str()));
+        e.dst = static_cast<NodeId>(std::atoi(fields[2].c_str()));
+        e.sizeFlits = std::atoi(fields[3].c_str());
+        trace.append(e);
+    }
+    return trace;
+}
+
+TraceReplayer::TraceReplayer(const ColumnConfig &col, TrafficTrace trace)
+    : col_(col), trace_(std::move(trace))
+{
+    col_.canonicalize();
+}
+
+void
+TraceReplayer::tick(Cycle now, PacketPool &pool,
+                    std::vector<InjectorQueue> &injectors,
+                    SimMetrics &metrics)
+{
+    const auto &entries = trace_.entries();
+    while (next_ < entries.size() && entries[next_].cycle == now) {
+        const TraceEntry &e = entries[next_++];
+        TAQOS_ASSERT(e.flow >= 0 && e.flow < col_.numFlows(),
+                     "trace flow %d out of range", e.flow);
+        TAQOS_ASSERT(e.dst >= 0 && e.dst < col_.numNodes,
+                     "trace dst %d out of range", e.dst);
+
+        NetPacket *pkt = pool.alloc();
+        pkt->flow = e.flow;
+        pkt->src = col_.nodeOfFlow(e.flow);
+        pkt->dst = e.dst;
+        pkt->sizeFlits = e.sizeFlits;
+        pkt->genCycle = now;
+        pkt->queuedCycle = now;
+        pkt->state = PacketState::Queued;
+        pkt->measured = metrics.inWindow(now);
+        injectors[static_cast<std::size_t>(e.flow)].queue.push_back(pkt);
+
+        ++metrics.generatedPackets;
+        metrics.generatedFlits += static_cast<std::uint64_t>(e.sizeFlits);
+        if (pkt->measured)
+            ++metrics.measuredGenerated;
+    }
+    // Skip any stale earlier-cycle entries (replay started mid-trace).
+    while (next_ < entries.size() && entries[next_].cycle < now)
+        ++next_;
+}
+
+} // namespace taqos

@@ -1,0 +1,73 @@
+/// \file trace.h
+/// Deterministic workload capture and replay. A trace is the exact packet
+/// stream a generator (or an external tool) produced — cycle, flow,
+/// destination, size — so experiments can be repeated bit-identically
+/// across machines, diffed between QOS modes, or driven from externally
+/// produced workloads (e.g. memory-access traces of real applications,
+/// which the paper's evaluation substitutes with synthetic traffic).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "noc/metrics.h"
+#include "noc/packet.h"
+#include "noc/ports.h"
+#include "topo/topology.h"
+#include "traffic/generator.h"
+#include "traffic/pattern.h"
+
+namespace taqos {
+
+struct TraceEntry {
+    Cycle cycle = 0;
+    FlowId flow = kInvalidFlow;
+    NodeId dst = kInvalidNode;
+    int sizeFlits = 1;
+};
+
+class TrafficTrace {
+  public:
+    TrafficTrace() = default;
+    explicit TrafficTrace(std::vector<TraceEntry> entries);
+
+    /// Record the stream a generator would produce over `cycles`.
+    static TrafficTrace record(const ColumnConfig &col,
+                               const TrafficConfig &traffic, Cycle cycles);
+
+    const std::vector<TraceEntry> &entries() const { return entries_; }
+    std::size_t size() const { return entries_.size(); }
+    Cycle lastCycle() const;
+    std::uint64_t totalFlits() const;
+
+    /// Append one entry; entries must be in non-decreasing cycle order.
+    void append(TraceEntry entry);
+
+    /// CSV round trip: "cycle,flow,dst,size" per line (with header).
+    std::string toCsv() const;
+    static TrafficTrace fromCsv(const std::string &csv);
+
+  private:
+    std::vector<TraceEntry> entries_;
+};
+
+/// Drives injector queues from a trace; interface-compatible with
+/// TrafficGenerator's tick. Packets beyond `genUntil`-style horizons are
+/// simply absent from the trace.
+class TraceReplayer {
+  public:
+    TraceReplayer(const ColumnConfig &col, TrafficTrace trace);
+
+    void tick(Cycle now, PacketPool &pool,
+              std::vector<InjectorQueue> &injectors, SimMetrics &metrics);
+
+    bool exhausted() const { return next_ >= trace_.size(); }
+
+  private:
+    ColumnConfig col_;
+    TrafficTrace trace_;
+    std::size_t next_ = 0;
+};
+
+} // namespace taqos

@@ -1,0 +1,90 @@
+#include "traffic/workloads.h"
+
+#include "common/assert.h"
+
+namespace taqos {
+namespace {
+
+/// The paper specifies only the range (5%..20%) and mean (~14%) of the
+/// Workload 1 rates; these concrete values reproduce both. The lowest
+/// rates sit at the nodes farthest from the hotspot, so each rare
+/// (high-priority) packet travels the whole chain of backlogged sources —
+/// "the arrival of a new packet at a source with a low injection rate will
+/// often trigger a sequence of preemptions as the packet travels toward
+/// the destination" (Sec. 5.3).
+const std::vector<double> kW1Rates = {0.20, 0.19, 0.18, 0.16,
+                                      0.14, 0.12, 0.09, 0.05};
+
+/// Workload 2: eight injectors at node 7 (indices 0..7) then the one
+/// extra injector at node 6. Same 5%..20% spread.
+const std::vector<double> kW2Rates = {0.05, 0.08, 0.10, 0.12, 0.14,
+                                      0.16, 0.18, 0.20, 0.20};
+
+} // namespace
+
+const std::vector<double> &
+workload1Rates()
+{
+    return kW1Rates;
+}
+
+const std::vector<double> &
+workload2Rates()
+{
+    return kW2Rates;
+}
+
+TrafficConfig
+makeHotspotAll(const ColumnConfig &col, double ratePerInjector,
+               NodeId hotspot)
+{
+    (void)col; // all flows active at a common rate; nothing node-specific
+
+    TrafficConfig t;
+    t.pattern = TrafficPattern::Hotspot;
+    t.hotspotNode = hotspot;
+    t.injectionRate = ratePerInjector;
+    return t;
+}
+
+TrafficConfig
+makeWorkload1(const ColumnConfig &col, NodeId hotspot)
+{
+    TAQOS_ASSERT(col.numNodes == static_cast<int>(kW1Rates.size()),
+                 "Workload 1 is defined for an 8-node column");
+    TrafficConfig t;
+    t.pattern = TrafficPattern::Hotspot;
+    t.hotspotNode = hotspot;
+    t.activeFlows.assign(static_cast<std::size_t>(col.numFlows()), false);
+    t.flowRates.assign(static_cast<std::size_t>(col.numFlows()), -1.0);
+    for (NodeId node = 0; node < col.numNodes; ++node) {
+        const FlowId f = col.flowOf(node, 0); // terminal injector only
+        t.activeFlows[static_cast<std::size_t>(f)] = true;
+        t.flowRates[static_cast<std::size_t>(f)] =
+            kW1Rates[static_cast<std::size_t>(node)];
+    }
+    return t;
+}
+
+TrafficConfig
+makeWorkload2(const ColumnConfig &col, NodeId hotspot)
+{
+    TAQOS_ASSERT(col.numNodes >= 8, "Workload 2 needs nodes 6 and 7");
+    TrafficConfig t;
+    t.pattern = TrafficPattern::Hotspot;
+    t.hotspotNode = hotspot;
+    t.activeFlows.assign(static_cast<std::size_t>(col.numFlows()), false);
+    t.flowRates.assign(static_cast<std::size_t>(col.numFlows()), -1.0);
+    for (int k = 0; k < col.injectorsPerNode; ++k) {
+        const FlowId f = col.flowOf(7, k);
+        t.activeFlows[static_cast<std::size_t>(f)] = true;
+        t.flowRates[static_cast<std::size_t>(f)] =
+            kW2Rates[static_cast<std::size_t>(k)];
+    }
+    const FlowId f6 = col.flowOf(6, 0);
+    t.activeFlows[static_cast<std::size_t>(f6)] = true;
+    t.flowRates[static_cast<std::size_t>(f6)] = kW2Rates.back();
+    return t;
+}
+
+} // namespace taqos

@@ -1,0 +1,34 @@
+/// \file workloads.h
+/// The two adversarial preemption workloads of Sec. 5.3, plus the
+/// full-hotspot fairness workload of Table 2. Both adversarial workloads
+/// direct a subset of sources at the node-0 terminal with injection rates
+/// well above the 1/64 provisioned share, so the PVC reserved quota is
+/// exhausted early in each frame and preemptions ensue.
+#pragma once
+
+#include "topo/topology.h"
+#include "traffic/pattern.h"
+
+namespace taqos {
+
+/// Table 2: all 64 injectors stream to the node-0 terminal.
+/// `ratePerInjector` deep-saturates the single ejection link.
+TrafficConfig makeHotspotAll(const ColumnConfig &col,
+                             double ratePerInjector = 0.05,
+                             NodeId hotspot = 0);
+
+/// Workload 1: only the terminal injector of each node sends to the
+/// hotspot; equal priorities but widely different injection rates
+/// (5%..20%, average ~14% — above the 12.5% saturation share).
+TrafficConfig makeWorkload1(const ColumnConfig &col, NodeId hotspot = 0);
+
+/// Workload 2: all eight injectors of node 7 (pressuring one downstream
+/// MECS port) plus one injector at node 6 (contending at the destination).
+TrafficConfig makeWorkload2(const ColumnConfig &col, NodeId hotspot = 0);
+
+/// The per-source rates used by Workload 1/2 (exposed for the max-min
+/// expected-throughput computation and for tests).
+const std::vector<double> &workload1Rates();
+const std::vector<double> &workload2Rates();
+
+} // namespace taqos

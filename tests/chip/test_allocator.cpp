@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "chip/allocator.h"
+
+namespace taqos {
+namespace {
+
+TEST(Allocator, StartsWithComputeNodesFree)
+{
+    const ChipConfig chip;
+    DomainAllocator alloc(chip);
+    EXPECT_EQ(alloc.freeNodes(), chip.computeNodes());
+    EXPECT_FALSE(alloc.isFree(NodeCoord{4, 0})); // shared column
+    EXPECT_TRUE(alloc.isFree(NodeCoord{3, 0}));
+}
+
+TEST(Allocator, AllocatedDomainsAreConvexAndDisjoint)
+{
+    const ChipConfig chip;
+    DomainAllocator alloc(chip);
+    const int sizes[] = {6, 4, 9, 2, 12};
+    int id = 0;
+    for (int s : sizes) {
+        const auto d = alloc.allocate(id++, s);
+        ASSERT_TRUE(d.has_value());
+        EXPECT_GE(static_cast<int>(d->size()), s);
+        EXPECT_TRUE(d->isConvex());
+    }
+    // Disjointness.
+    for (const auto &a : alloc.domains()) {
+        for (const auto &b : alloc.domains()) {
+            if (a.id() == b.id())
+                continue;
+            for (const auto &node : a.nodes())
+                EXPECT_FALSE(b.contains(node));
+        }
+    }
+}
+
+TEST(Allocator, NeverAllocatesSharedColumn)
+{
+    const ChipConfig chip;
+    DomainAllocator alloc(chip);
+    for (int id = 0; id < 10; ++id) {
+        const auto d = alloc.allocate(id, 4);
+        if (!d.has_value())
+            break;
+        for (const auto &node : d->nodes())
+            EXPECT_FALSE(chip.isSharedNode(node));
+    }
+}
+
+TEST(Allocator, ExactShapeWhenPossible)
+{
+    const ChipConfig chip;
+    DomainAllocator alloc(chip);
+    const auto d = alloc.allocate(1, 4);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->size(), 4u); // 2x2 fits with zero waste
+}
+
+TEST(Allocator, ExhaustionReturnsNullopt)
+{
+    const ChipConfig chip;
+    DomainAllocator alloc(chip);
+    int allocated = 0;
+    for (int id = 0; id < 100; ++id) {
+        const auto d = alloc.allocate(id, 4);
+        if (!d.has_value())
+            break;
+        allocated += static_cast<int>(d->size());
+    }
+    EXPECT_EQ(allocated, chip.computeNodes()); // 4-node rects tile 56
+    EXPECT_FALSE(alloc.allocate(999, 4).has_value());
+    EXPECT_EQ(alloc.freeNodes(), 0);
+}
+
+TEST(Allocator, ReleaseAllowsReuse)
+{
+    const ChipConfig chip;
+    DomainAllocator alloc(chip);
+    const auto a = alloc.allocate(1, 8);
+    ASSERT_TRUE(a.has_value());
+    const int freeAfterAlloc = alloc.freeNodes();
+    EXPECT_TRUE(alloc.release(1));
+    EXPECT_EQ(alloc.freeNodes(),
+              freeAfterAlloc + static_cast<int>(a->size()));
+    EXPECT_FALSE(alloc.release(1)); // already gone
+    const auto b = alloc.allocate(2, 8);
+    ASSERT_TRUE(b.has_value());
+}
+
+TEST(Allocator, TooLargeRequestFails)
+{
+    const ChipConfig chip;
+    DomainAllocator alloc(chip);
+    EXPECT_FALSE(alloc.allocate(1, 57).has_value());
+}
+
+TEST(Allocator, WholeSideAllocatable)
+{
+    // The west side of the shared column is a 4x8 = 32-node region.
+    const ChipConfig chip;
+    DomainAllocator alloc(chip);
+    const auto d = alloc.allocate(1, 32);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->size(), 32u);
+    EXPECT_TRUE(d->isConvex());
+}
+
+TEST(Allocator, FindLocatesDomains)
+{
+    const ChipConfig chip;
+    DomainAllocator alloc(chip);
+    alloc.allocate(5, 4);
+    EXPECT_NE(alloc.find(5), nullptr);
+    EXPECT_EQ(alloc.find(6), nullptr);
+}
+
+} // namespace
+} // namespace taqos

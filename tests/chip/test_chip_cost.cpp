@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "chip/chip_cost.h"
+#include "power/tech.h"
+
+namespace taqos {
+namespace {
+
+TEST(ChipCost, QosHardwareCostsArea)
+{
+    const ChipConfig chip;
+    const RouterGeometry with = mainNetworkRouterGeometry(chip, true);
+    const RouterGeometry without = mainNetworkRouterGeometry(chip, false);
+    const AreaBreakdown aWith = computeRouterArea(with, tech32nm());
+    const AreaBreakdown aWithout = computeRouterArea(without, tech32nm());
+    EXPECT_GT(aWith.flowStateMm2, 0.0);
+    EXPECT_DOUBLE_EQ(aWithout.flowStateMm2, 0.0);
+    EXPECT_GT(aWith.buffersMm2(), aWithout.buffersMm2());
+    EXPECT_GT(aWith.totalMm2(), aWithout.totalMm2());
+}
+
+TEST(ChipCost, TopologyAwareSavesForEverySharedTopology)
+{
+    const ChipConfig chip;
+    for (auto kind : kAllTopologies) {
+        const ChipCostReport r = chipCostComparison(chip, kind);
+        EXPECT_GT(r.qosEverywhereMm2, r.topologyAwareMm2)
+            << topologyName(kind);
+        EXPECT_GT(r.savingsPct(), 2.0) << topologyName(kind);
+        EXPECT_LT(r.savingsPct(), 60.0) << topologyName(kind);
+        EXPECT_GT(r.flowStateSavedMm2, 0.0);
+        EXPECT_GT(r.buffersSavedMm2, 0.0);
+    }
+}
+
+TEST(ChipCost, MoreSharedColumnsLessSavings)
+{
+    ChipConfig one;
+    ChipConfig two;
+    two.sharedColumns = {2, 6};
+    const double s1 =
+        chipCostComparison(one, TopologyKind::Dps).savingsPct();
+    const double s2 =
+        chipCostComparison(two, TopologyKind::Dps).savingsPct();
+    // With more of the chip QOS-protected anyway, relative savings shrink.
+    EXPECT_GT(s1, s2);
+}
+
+TEST(ChipCost, FlowStateScalesWithChipSize)
+{
+    const ChipConfig chip;
+    const RouterGeometry g = mainNetworkRouterGeometry(chip, true);
+    // PVC per-flow state is proportional to the number of nodes (Sec. 3.1).
+    EXPECT_EQ(g.flowTableFlows, chip.numNodes());
+}
+
+} // namespace
+} // namespace taqos

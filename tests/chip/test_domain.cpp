@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "chip/domain.h"
+#include "common/rng.h"
+
+namespace taqos {
+namespace {
+
+TEST(Domain, RectanglesAreConvex)
+{
+    for (int w = 1; w <= 4; ++w) {
+        for (int h = 1; h <= 4; ++h) {
+            const Domain d = makeRectDomain(1, NodeCoord{1, 2}, w, h);
+            EXPECT_TRUE(d.isConvex()) << w << "x" << h;
+            EXPECT_EQ(d.size(), static_cast<std::size_t>(w * h));
+        }
+    }
+}
+
+TEST(Domain, LShapeIsNotConvex)
+{
+    Domain d(1, {{0, 0}, {1, 0}, {0, 1}});
+    EXPECT_FALSE(d.isConvex());
+}
+
+TEST(Domain, RowGapIsNotConvex)
+{
+    Domain d(1, {{0, 0}, {2, 0}});
+    EXPECT_FALSE(d.isConvex());
+}
+
+TEST(Domain, DisconnectedIsNotConvex)
+{
+    Domain d(1, {{0, 0}, {3, 3}});
+    EXPECT_FALSE(d.isConvex());
+}
+
+TEST(Domain, EmptyAndSingletonAreConvex)
+{
+    EXPECT_TRUE(Domain(1, {}).isConvex());
+    EXPECT_TRUE(Domain(1, {{5, 5}}).isConvex());
+}
+
+TEST(Domain, ContainsAndAdd)
+{
+    Domain d(7, {{1, 1}});
+    EXPECT_TRUE(d.contains(NodeCoord{1, 1}));
+    EXPECT_FALSE(d.contains(NodeCoord{1, 2}));
+    d.addNode(NodeCoord{1, 2});
+    d.addNode(NodeCoord{1, 2}); // idempotent
+    EXPECT_EQ(d.size(), 2u);
+}
+
+/// Property (the paper's placement argument): in a convex domain every
+/// intra-domain XY route stays inside the domain.
+TEST(Domain, ConvexImpliesXYRoutesInside)
+{
+    Rng rng(2024);
+    for (int trial = 0; trial < 50; ++trial) {
+        const int w = static_cast<int>(rng.nextRange(1, 4));
+        const int h = static_cast<int>(rng.nextRange(1, 4));
+        const NodeCoord origin{static_cast<int>(rng.nextRange(0, 3)),
+                               static_cast<int>(rng.nextRange(0, 3))};
+        const Domain d = makeRectDomain(trial, origin, w, h);
+        ASSERT_TRUE(d.isConvex());
+        for (const auto &a : d.nodes())
+            for (const auto &b : d.nodes())
+                EXPECT_TRUE(d.xyRouteInside(a, b));
+    }
+}
+
+/// Counter-property: non-convex domains have escaping XY routes.
+TEST(Domain, NonConvexHasEscapingRoute)
+{
+    // L-shape: route from the row arm to the column arm turns at a
+    // non-member.
+    Domain d(1, {{0, 0}, {1, 0}, {2, 0}, {0, 1}, {0, 2}, {2, 2}});
+    ASSERT_FALSE(d.isConvex());
+    EXPECT_FALSE(d.xyRouteInside(NodeCoord{0, 2}, NodeCoord{2, 0}) &&
+                 d.xyRouteInside(NodeCoord{2, 0}, NodeCoord{0, 2}) &&
+                 d.xyRouteInside(NodeCoord{2, 2}, NodeCoord{0, 0}) &&
+                 d.xyRouteInside(NodeCoord{0, 0}, NodeCoord{2, 2}));
+}
+
+/// Random convex-closure property: take a random subset, test that
+/// isConvex() == all XY routes stay inside (on connected subsets).
+TEST(Domain, ConvexityMatchesRouteContainment)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<NodeCoord> nodes;
+        for (int y = 0; y < 3; ++y)
+            for (int x = 0; x < 3; ++x)
+                if (rng.bernoulli(0.6))
+                    nodes.push_back(NodeCoord{x, y});
+        if (nodes.empty())
+            continue;
+        const Domain d(trial, nodes);
+        bool allInside = true;
+        for (const auto &a : d.nodes())
+            for (const auto &b : d.nodes())
+                allInside &= d.xyRouteInside(a, b);
+        if (d.isConvex()) {
+            EXPECT_TRUE(allInside);
+        } else {
+            // Non-convexity means either an escaping route or a
+            // contiguity hole (which is itself an escaping straight
+            // route), so containment must fail somewhere.
+            EXPECT_FALSE(allInside);
+        }
+    }
+}
+
+} // namespace
+} // namespace taqos

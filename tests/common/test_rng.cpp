@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace taqos {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += a.nextU64() == b.nextU64();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(99);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 10; ++i)
+        first.push_back(a.nextU64());
+    a.reseed(99);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.nextU64(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(3);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1000000007ull}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversAllValues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(5);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo |= v == -3;
+        sawHi |= v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.125);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.125, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(21);
+    Rng b = a.split();
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += a.nextU64() == b.nextU64();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, PickUniform)
+{
+    Rng rng(17);
+    const std::vector<int> v{1, 2, 3, 4};
+    std::vector<int> counts(5, 0);
+    for (int i = 0; i < 40000; ++i)
+        ++counts[static_cast<std::size_t>(rng.pick(v))];
+    for (int x = 1; x <= 4; ++x)
+        EXPECT_NEAR(counts[static_cast<std::size_t>(x)], 10000, 500);
+}
+
+} // namespace
+} // namespace taqos

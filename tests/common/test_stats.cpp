@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace taqos {
+namespace {
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.min(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 0.0);
+}
+
+TEST(RunningStat, SingleValue)
+{
+    RunningStat rs;
+    rs.push(42.0);
+    EXPECT_EQ(rs.count(), 1u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(rs.min(), 42.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 42.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments)
+{
+    RunningStat rs;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        rs.push(v);
+    EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 4.0); // population variance
+    EXPECT_DOUBLE_EQ(rs.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+    EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential)
+{
+    RunningStat all, a, b;
+    for (int i = 0; i < 100; ++i) {
+        const double v = std::sin(i) * 10.0 + i;
+        all.push(v);
+        (i % 2 == 0 ? a : b).push(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, b;
+    a.push(1.0);
+    a.push(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStat, ClearResets)
+{
+    RunningStat rs;
+    rs.push(5.0);
+    rs.clear();
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10.0, 4); // [0,10) [10,20) [20,30) [30,40)
+    h.add(0.0);
+    h.add(9.9);
+    h.add(10.0);
+    h.add(35.0);
+    h.add(100.0);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, NegativeClampsToZeroBucket)
+{
+    Histogram h(1.0, 4);
+    h.add(-5.0);
+    EXPECT_EQ(h.bucket(0), 1u);
+}
+
+TEST(Histogram, PercentileMedian)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i) + 0.5);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 1.0);
+    EXPECT_NEAR(h.percentile(0.95), 95.0, 1.0);
+    EXPECT_LE(h.percentile(0.0), 1.0);
+}
+
+TEST(Histogram, PercentileEmpty)
+{
+    Histogram h(1.0, 4);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h(1.0, 4);
+    h.add(2.0);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(Histogram, RenderNonEmpty)
+{
+    Histogram h(1.0, 4);
+    h.add(0.5);
+    h.add(0.7);
+    h.add(3.2);
+    const std::string out = h.render();
+    EXPECT_NE(out.find("#"), std::string::npos);
+}
+
+} // namespace
+} // namespace taqos

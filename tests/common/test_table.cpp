@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+
+namespace taqos {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t("title");
+    t.setHeader({"a", "bbbb"});
+    t.addRow({"xx", "y"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("title"), std::string::npos);
+    EXPECT_NE(out.find("a  | bbbb"), std::string::npos);
+    EXPECT_NE(out.find("xx | y"), std::string::npos);
+}
+
+TEST(TextTable, RuleSeparatesGroups)
+{
+    TextTable t;
+    t.setHeader({"c"});
+    t.addRow({"1"});
+    t.addRule();
+    t.addRow({"2"});
+    const std::string out = t.render();
+    // header rule + explicit rule
+    std::size_t dashes = 0;
+    for (std::size_t pos = out.find("-"); pos != std::string::npos;
+         pos = out.find("-", pos + 1))
+        ++dashes;
+    EXPECT_GE(dashes, 2u);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TextTable, CsvEscapesCommas)
+{
+    TextTable t;
+    t.setHeader({"k", "v"});
+    t.addRow({"a,b", "2"});
+    const std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("\"a,b\",2"), std::string::npos);
+}
+
+TEST(TextTable, CsvSkipsRules)
+{
+    TextTable t;
+    t.setHeader({"k"});
+    t.addRow({"1"});
+    t.addRule();
+    t.addRow({"2"});
+    const std::string csv = t.renderCsv();
+    EXPECT_EQ(csv, "k\n1\n2\n");
+}
+
+TEST(TextTable, NoHeaderWorks)
+{
+    TextTable t;
+    t.addRow({"just", "cells"});
+    EXPECT_NE(t.render().find("just | cells"), std::string::npos);
+}
+
+} // namespace
+} // namespace taqos

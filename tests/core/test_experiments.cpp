@@ -1,0 +1,134 @@
+/// Experiment runners: structure and fast-phase sanity (full-length runs
+/// are the bench binaries' job; the integration suite checks the paper's
+/// orderings on medium runs).
+#include <gtest/gtest.h>
+
+#include "core/experiments.h"
+
+namespace taqos {
+namespace {
+
+TEST(Experiments, Fig3CoversAllTopologies)
+{
+    const auto rows = runFig3Area();
+    ASSERT_EQ(rows.size(), 5u);
+    for (const auto &row : rows) {
+        EXPECT_GT(row.area.totalMm2(), 0.0);
+        EXPECT_GT(row.area.rowBuffersMm2, 0.0);
+    }
+}
+
+TEST(Experiments, Fig4SeriesShape)
+{
+    const RunPhases fast = testPhases();
+    const auto series =
+        runFig4Latency(TrafficPattern::UniformRandom, {0.01, 0.05}, fast);
+    ASSERT_EQ(series.size(), 5u);
+    for (const auto &s : series) {
+        ASSERT_EQ(s.points.size(), 2u);
+        EXPECT_FALSE(s.points[0].saturated);
+        EXPECT_GT(s.points[0].avgLatency, 0.0);
+        EXPECT_LE(s.points[0].avgLatency, s.points[1].avgLatency * 1.2);
+        EXPECT_NEAR(s.points[0].throughput, 0.01, 0.003);
+        EXPECT_GE(s.points[0].p95Latency, 0.0);
+    }
+}
+
+TEST(Experiments, Fig4FlagsSaturation)
+{
+    const RunPhases fast{1000, 6000, 2000};
+    const auto series =
+        runFig4Latency(TrafficPattern::Tornado, {0.08}, fast);
+    for (const auto &s : series) {
+        if (s.topology == TopologyKind::MeshX1) {
+            EXPECT_TRUE(s.points[0].saturated);
+        }
+        if (s.topology == TopologyKind::Mecs) {
+            EXPECT_FALSE(s.points[0].saturated);
+        }
+    }
+}
+
+TEST(Experiments, Table2ShortRunIsFair)
+{
+    const auto rows = runTable2Fairness(/*measure=*/30000, /*warmup=*/5000);
+    ASSERT_EQ(rows.size(), 5u);
+    for (const auto &row : rows) {
+        EXPECT_GT(row.meanFlits, 0.0);
+        EXPECT_GT(row.minPct(), 96.0) << topologyName(row.topology);
+        EXPECT_LT(row.maxPct(), 104.0) << topologyName(row.topology);
+        EXPECT_LT(row.stddevPct(), 2.0) << topologyName(row.topology);
+    }
+}
+
+TEST(Experiments, AdversarialReturnsCompleteRuns)
+{
+    const auto rows = runAdversarial(1, /*genCycles=*/20000);
+    ASSERT_EQ(rows.size(), 5u);
+    for (const auto &row : rows) {
+        EXPECT_GT(row.completionCycle, 20000u);
+        EXPECT_GE(row.preemptedPacketsPct, 0.0);
+        EXPECT_GE(row.replayedHopsPct, 0.0);
+        // Deviations from max-min stay small under PVC.
+        EXPECT_LT(std::abs(row.avgDeviationPct), 6.0)
+            << topologyName(row.topology);
+    }
+}
+
+TEST(Experiments, Workload2Runs)
+{
+    const auto rows = runAdversarial(2, /*genCycles=*/15000);
+    ASSERT_EQ(rows.size(), 5u);
+    for (const auto &row : rows)
+        EXPECT_GT(row.completionCycle, 15000u);
+}
+
+TEST(Experiments, Fig7Composition)
+{
+    const auto rows = runFig7Energy();
+    ASSERT_EQ(rows.size(), 5u);
+    for (const auto &row : rows) {
+        const double src = EnergyRow::total(row.srcPj);
+        const double inter = EnergyRow::total(row.intPj);
+        const double dst = EnergyRow::total(row.dstPj);
+        EXPECT_NEAR(EnergyRow::total(row.threeHopPj),
+                    src + 2.0 * inter + dst, 1e-9);
+        switch (row.topology) {
+          case TopologyKind::Mecs:
+            EXPECT_DOUBLE_EQ(inter, 0.0); // express pass-through
+            break;
+          case TopologyKind::Dps:
+            EXPECT_GT(inter, 0.0);
+            EXPECT_LT(inter, src);          // no crossbar, no flow state
+            EXPECT_DOUBLE_EQ(row.intPj[2], 0.0);
+            break;
+          default:
+            EXPECT_NEAR(inter, src, 1e-9); // full traversal each hop
+        }
+    }
+}
+
+TEST(Experiments, SaturationPreemptionRates)
+{
+    const RunPhases fast{2000, 8000, 3000};
+    const auto rows =
+        runSaturationPreemption(TrafficPattern::UniformRandom, 0.15, fast);
+    ASSERT_EQ(rows.size(), 5u);
+    for (const auto &row : rows) {
+        EXPECT_GE(row.packetRate, 0.0);
+        EXPECT_LT(row.packetRate, 0.5);
+        EXPECT_LE(row.hopRate, row.packetRate + 0.05);
+    }
+}
+
+TEST(Experiments, PaperColumnDefaults)
+{
+    const ColumnConfig col = paperColumn(TopologyKind::Mecs);
+    EXPECT_EQ(col.numNodes, 8);
+    EXPECT_EQ(col.numFlows(), 64);
+    EXPECT_EQ(col.mode, QosMode::Pvc);
+    EXPECT_EQ(col.pvc.frameLen, 50000u);
+}
+
+} // namespace
+} // namespace taqos

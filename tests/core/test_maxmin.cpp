@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/maxmin.h"
+
+namespace taqos {
+namespace {
+
+TEST(MaxMin, AllDemandsFit)
+{
+    const auto a = maxMinAllocation({0.1, 0.2, 0.3}, 1.0);
+    EXPECT_DOUBLE_EQ(a[0], 0.1);
+    EXPECT_DOUBLE_EQ(a[1], 0.2);
+    EXPECT_DOUBLE_EQ(a[2], 0.3);
+}
+
+TEST(MaxMin, EqualSplitWhenAllExceed)
+{
+    const auto a = maxMinAllocation({0.9, 0.8, 0.7}, 0.9);
+    EXPECT_NEAR(a[0], 0.3, 1e-12);
+    EXPECT_NEAR(a[1], 0.3, 1e-12);
+    EXPECT_NEAR(a[2], 0.3, 1e-12);
+}
+
+TEST(MaxMin, WaterFilling)
+{
+    // Dally & Towles style example: small demands granted, residue split.
+    const auto a = maxMinAllocation({0.05, 0.10, 0.60, 0.70}, 1.0);
+    EXPECT_DOUBLE_EQ(a[0], 0.05);
+    EXPECT_DOUBLE_EQ(a[1], 0.10);
+    EXPECT_NEAR(a[2], 0.425, 1e-12);
+    EXPECT_NEAR(a[3], 0.425, 1e-12);
+}
+
+TEST(MaxMin, PaperWorkload1Expectation)
+{
+    // W1 demands: the fair level lambda solves sum min(d_i, lambda) = 1,
+    // giving lambda = 0.15 — so 0.05, 0.09, 0.12 AND 0.14 are granted in
+    // full and the four heaviest sources get 0.15 each.
+    const auto a = maxMinAllocation(
+        {0.20, 0.19, 0.18, 0.16, 0.14, 0.12, 0.09, 0.05}, 1.0);
+    EXPECT_DOUBLE_EQ(a[7], 0.05);
+    EXPECT_DOUBLE_EQ(a[6], 0.09);
+    EXPECT_DOUBLE_EQ(a[5], 0.12);
+    EXPECT_DOUBLE_EQ(a[4], 0.14);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_NEAR(a[static_cast<std::size_t>(i)], 0.15, 1e-12);
+    double total = 0.0;
+    for (double v : a)
+        total += v;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(MaxMin, ZeroDemandGetsZero)
+{
+    const auto a = maxMinAllocation({0.0, 0.5, 0.9}, 1.0);
+    EXPECT_DOUBLE_EQ(a[0], 0.0);
+    EXPECT_DOUBLE_EQ(a[1], 0.5);
+    EXPECT_NEAR(a[2], 0.5, 1e-12);
+}
+
+TEST(MaxMin, ZeroCapacity)
+{
+    const auto a = maxMinAllocation({0.5, 0.5}, 0.0);
+    EXPECT_DOUBLE_EQ(a[0], 0.0);
+    EXPECT_DOUBLE_EQ(a[1], 0.0);
+}
+
+TEST(MaxMin, EmptyDemands)
+{
+    EXPECT_TRUE(maxMinAllocation({}, 1.0).empty());
+}
+
+TEST(MaxMin, NeverExceedsDemandOrCapacity)
+{
+    const std::vector<double> demands{0.3, 0.01, 0.7, 0.2, 0.15};
+    const auto a = maxMinAllocation(demands, 0.8);
+    double total = 0.0;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+        EXPECT_LE(a[i], demands[i] + 1e-12);
+        total += a[i];
+    }
+    EXPECT_LE(total, 0.8 + 1e-9);
+    EXPECT_NEAR(total, 0.8, 1e-9); // capacity saturated when demand exceeds
+}
+
+} // namespace
+} // namespace taqos

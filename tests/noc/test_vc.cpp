@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "noc/packet.h"
+#include "noc/vc.h"
+
+namespace taqos {
+namespace {
+
+TEST(VirtualChannel, LifecycleStates)
+{
+    VirtualChannel vc;
+    NetPacket pkt;
+    pkt.sizeFlits = 4;
+
+    EXPECT_EQ(vc.state(), VirtualChannel::State::Free);
+    EXPECT_TRUE(vc.allocatable(0));
+
+    vc.reserve(&pkt, 10, 13);
+    EXPECT_EQ(vc.state(), VirtualChannel::State::Reserved);
+    EXPECT_FALSE(vc.allocatable(0));
+    EXPECT_FALSE(vc.arrived(9));
+    EXPECT_TRUE(vc.arrived(10));
+
+    vc.startDrain();
+    EXPECT_EQ(vc.state(), VirtualChannel::State::Draining);
+
+    vc.free(20);
+    EXPECT_EQ(vc.state(), VirtualChannel::State::Free);
+    EXPECT_EQ(vc.packet(), nullptr);
+}
+
+TEST(VirtualChannel, CreditVisibilityDelay)
+{
+    VirtualChannel vc;
+    NetPacket pkt;
+    vc.reserve(&pkt, 5, 5);
+    vc.free(12);
+    EXPECT_FALSE(vc.allocatable(11));
+    EXPECT_TRUE(vc.allocatable(12));
+}
+
+TEST(VirtualChannel, FlitsPresentDuringArrival)
+{
+    VirtualChannel vc;
+    NetPacket pkt;
+    pkt.sizeFlits = 4;
+    vc.reserve(&pkt, 10, 13);
+    EXPECT_EQ(vc.flitsPresent(9), 0);
+    EXPECT_EQ(vc.flitsPresent(10), 1);
+    EXPECT_EQ(vc.flitsPresent(12), 3);
+    EXPECT_EQ(vc.flitsPresent(13), 4);
+    EXPECT_EQ(vc.flitsPresent(99), 4); // saturates at packet size
+}
+
+TEST(VirtualChannel, FlitsPresentFree)
+{
+    VirtualChannel vc;
+    EXPECT_EQ(vc.flitsPresent(100), 0);
+}
+
+} // namespace
+} // namespace taqos

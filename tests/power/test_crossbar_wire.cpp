@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "power/crossbar_model.h"
+#include "power/tech.h"
+#include "power/wire_model.h"
+
+namespace taqos {
+namespace {
+
+TEST(Crossbar, AreaProportionalToPortProduct)
+{
+    const TechParams tech = tech32nm();
+    const CrossbarModel x5(5, 5, 128, tech);
+    const CrossbarModel x11(11, 11, 128, tech);
+    // The paper: 11x11 is "roughly four times larger" than 5x5.
+    EXPECT_NEAR(x11.areaMm2() / x5.areaMm2(), (11.0 * 11.0) / (5.0 * 5.0),
+                1e-9);
+}
+
+TEST(Crossbar, AreaAsymmetricPorts)
+{
+    const TechParams tech = tech32nm();
+    const CrossbarModel square(5, 5, 128, tech);
+    const CrossbarModel tall(5, 10, 128, tech);
+    EXPECT_NEAR(tall.areaMm2() / square.areaMm2(), 2.0, 1e-9);
+}
+
+TEST(Crossbar, EnergyGrowsWithPorts)
+{
+    const TechParams tech = tech32nm();
+    const CrossbarModel small(5, 5, 128, tech);
+    const CrossbarModel large(11, 11, 128, tech);
+    EXPECT_GT(large.traversalEnergyPj(), small.traversalEnergyPj());
+}
+
+TEST(Crossbar, InputFeedPenalty)
+{
+    const TechParams tech = tech32nm();
+    const CrossbarModel compact(5, 5, 128, tech, 0.0);
+    const CrossbarModel fed(5, 5, 128, tech, 400.0);
+    // Same area (feed wires live outside the switch matrix)...
+    EXPECT_DOUBLE_EQ(compact.areaMm2(), fed.areaMm2());
+    // ...but every traversal pays for the long input lines (the MECS
+    // energy penalty of Sec. 5.4).
+    EXPECT_GT(fed.traversalEnergyPj(), compact.traversalEnergyPj());
+}
+
+TEST(Crossbar, SpansMatchGeometry)
+{
+    const TechParams tech = tech32nm();
+    const CrossbarModel x(4, 8, 128, tech);
+    EXPECT_DOUBLE_EQ(x.inputSpanUm(), 4 * 128 * tech.wirePitchUm);
+    EXPECT_DOUBLE_EQ(x.outputSpanUm(), 8 * 128 * tech.wirePitchUm);
+}
+
+TEST(Wire, EnergyLinearInBitsAndLength)
+{
+    const TechParams tech = tech32nm();
+    const WireModel wire(tech);
+    EXPECT_NEAR(wire.energyPj(256, 2.0), 4.0 * wire.energyPj(128, 1.0),
+                1e-9);
+    EXPECT_DOUBLE_EQ(wire.energyPj(128, 0.0), 0.0);
+}
+
+TEST(Wire, DelayCeil)
+{
+    EXPECT_EQ(WireModel::delayCycles(2.5, 1.0), 3);
+    EXPECT_EQ(WireModel::delayCycles(2.0, 1.0), 2);
+    EXPECT_EQ(WireModel::delayCycles(0.1, 1.0), 1);
+}
+
+} // namespace
+} // namespace taqos

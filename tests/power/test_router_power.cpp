@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "power/router_power.h"
+#include "power/tech.h"
+
+namespace taqos {
+namespace {
+
+RouterGeometry
+sampleGeometry()
+{
+    RouterGeometry g;
+    g.name = "sample";
+    g.flitBits = 128;
+    g.columnBuffers.push_back(BufferGroup{2, 6, 4});
+    g.rowBuffers.push_back(BufferGroup{7, 4, 4});
+    g.xbarInputs = 5;
+    g.xbarOutputs = 5;
+    g.flowTableFlows = 64;
+    g.flowTableOutputs = 5;
+    return g;
+}
+
+TEST(RouterPower, BreakdownSumsToTotal)
+{
+    const AreaBreakdown a = computeRouterArea(sampleGeometry(), tech32nm());
+    EXPECT_NEAR(a.totalMm2(),
+                a.columnBuffersMm2 + a.rowBuffersMm2 + a.xbarMm2 +
+                    a.flowStateMm2,
+                1e-12);
+    EXPECT_GT(a.columnBuffersMm2, 0.0);
+    EXPECT_GT(a.rowBuffersMm2, 0.0);
+    EXPECT_GT(a.xbarMm2, 0.0);
+    EXPECT_GT(a.flowStateMm2, 0.0);
+}
+
+TEST(RouterPower, FlowStateInsignificant)
+{
+    // The paper: "PVC's per-flow state is not a significant contributor".
+    const AreaBreakdown a = computeRouterArea(sampleGeometry(), tech32nm());
+    EXPECT_LT(a.flowStateMm2, 0.15 * a.totalMm2());
+}
+
+TEST(RouterPower, MoreVcsMoreBufferArea)
+{
+    RouterGeometry g = sampleGeometry();
+    const AreaBreakdown base = computeRouterArea(g, tech32nm());
+    g.columnBuffers[0].vcsPerPort = 14;
+    const AreaBreakdown more = computeRouterArea(g, tech32nm());
+    EXPECT_GT(more.columnBuffersMm2, 2.0 * base.columnBuffersMm2);
+    EXPECT_DOUBLE_EQ(more.rowBuffersMm2, base.rowBuffersMm2);
+}
+
+TEST(RouterPower, NoFlowTableNoArea)
+{
+    RouterGeometry g = sampleGeometry();
+    g.flowTableFlows = 0;
+    g.flowTableOutputs = 0;
+    const AreaBreakdown a = computeRouterArea(g, tech32nm());
+    EXPECT_DOUBLE_EQ(a.flowStateMm2, 0.0);
+}
+
+TEST(RouterPower, EnergyEventsPositive)
+{
+    const RouterEnergyProfile e =
+        computeRouterEnergy(sampleGeometry(), tech32nm());
+    EXPECT_GT(e.bufferWritePj, 0.0);
+    EXPECT_GT(e.bufferReadPj, 0.0);
+    EXPECT_GT(e.xbarPj, 0.0);
+    EXPECT_GT(e.flowQueryPj, 0.0);
+    EXPECT_GT(e.flowUpdatePj, 0.0);
+    EXPECT_GT(e.muxPj, 0.0);
+    // The DPS intermediate mux is far cheaper than a crossbar traversal.
+    EXPECT_LT(e.muxPj, 0.2 * e.xbarPj);
+}
+
+TEST(RouterPower, TotalColumnBufferFlits)
+{
+    EXPECT_EQ(totalColumnBufferFlits(sampleGeometry()), 2 * 6 * 4);
+    RouterGeometry g = sampleGeometry();
+    g.columnBuffers.push_back(BufferGroup{3, 5, 4});
+    EXPECT_EQ(totalColumnBufferFlits(g), 2 * 6 * 4 + 3 * 5 * 4);
+}
+
+TEST(RouterPower, NoColumnBuffersZeroEnergy)
+{
+    RouterGeometry g = sampleGeometry();
+    g.columnBuffers.clear();
+    const RouterEnergyProfile e = computeRouterEnergy(g, tech32nm());
+    EXPECT_DOUBLE_EQ(e.bufferReadPj, 0.0);
+    EXPECT_DOUBLE_EQ(e.bufferWritePj, 0.0);
+}
+
+} // namespace
+} // namespace taqos

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "power/sram_model.h"
+#include "power/tech.h"
+
+namespace taqos {
+namespace {
+
+TEST(Sram, AreaScalesWithCapacity)
+{
+    const TechParams tech = tech32nm();
+    const SramModel small(ArrayKind::RouterBuffer, 16, 128, tech);
+    const SramModel big(ArrayKind::RouterBuffer, 64, 128, tech);
+    EXPECT_GT(big.areaMm2(), small.areaMm2());
+    EXPECT_NEAR(big.areaMm2() / small.areaMm2(), 4.0, 1e-9);
+}
+
+TEST(Sram, DenseSramIsDenserThanBuffers)
+{
+    const TechParams tech = tech32nm();
+    const SramModel buf(ArrayKind::RouterBuffer, 64, 24, tech);
+    const SramModel dense(ArrayKind::DenseSram, 64, 24, tech);
+    EXPECT_LT(dense.areaMm2(), buf.areaMm2());
+}
+
+TEST(Sram, EnergyScalesWithWordWidth)
+{
+    const TechParams tech = tech32nm();
+    const SramModel narrow(ArrayKind::RouterBuffer, 16, 64, tech);
+    const SramModel wide(ArrayKind::RouterBuffer, 16, 128, tech);
+    EXPECT_NEAR(wide.readEnergyPj() / narrow.readEnergyPj(), 2.0, 1e-9);
+}
+
+TEST(Sram, LargeArraysPayBitlinePenalty)
+{
+    const TechParams tech = tech32nm();
+    // Below the reference capacity: flat per-access energy.
+    const SramModel atRef(ArrayKind::RouterBuffer, 32, 128, tech); // 4096 b
+    const SramModel small(ArrayKind::RouterBuffer, 8, 128, tech);
+    EXPECT_DOUBLE_EQ(atRef.readEnergyPj(), small.readEnergyPj());
+    // Above: sqrt growth.
+    const SramModel big(ArrayKind::RouterBuffer, 128, 128, tech); // 4x ref
+    EXPECT_NEAR(big.readEnergyPj() / atRef.readEnergyPj(), 2.0, 1e-9);
+}
+
+TEST(Sram, WriteCostsMoreThanRead)
+{
+    const TechParams tech = tech32nm();
+    const SramModel m(ArrayKind::RouterBuffer, 24, 128, tech);
+    EXPECT_GT(m.writeEnergyPj(), m.readEnergyPj());
+}
+
+TEST(Sram, ZeroEntriesIsZeroArea)
+{
+    const TechParams tech = tech32nm();
+    const SramModel m(ArrayKind::DenseSram, 0, 24, tech);
+    EXPECT_DOUBLE_EQ(m.areaMm2(), 0.0);
+}
+
+TEST(Tech, WireEnergyDerivation)
+{
+    TechParams tech = tech32nm();
+    // 0.5 * C * V^2 * activity / 1000 (fJ -> pJ)
+    const double expect =
+        0.5 * tech.wireCapPerMmFf * tech.vdd * tech.vdd *
+        tech.activityFactor / 1000.0;
+    EXPECT_DOUBLE_EQ(tech.wireEnergyPerBitMmPj(), expect);
+    EXPECT_GT(expect, 0.0);
+}
+
+} // namespace
+} // namespace taqos

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "qos/ack_network.h"
+
+namespace taqos {
+namespace {
+
+TEST(AckNetwork, DeliversAfterDistanceDelay)
+{
+    AckNetwork net;
+    NetPacket pkt;
+    net.send(100, 5, &pkt, false);
+
+    AckEvent ev;
+    EXPECT_FALSE(net.popDue(100 + 5 + AckNetwork::kBaseDelay - 1, ev));
+    ASSERT_TRUE(net.popDue(100 + 5 + AckNetwork::kBaseDelay, ev));
+    EXPECT_EQ(ev.pkt, &pkt);
+    EXPECT_FALSE(ev.isNack);
+    EXPECT_EQ(net.pending(), 0u);
+}
+
+TEST(AckNetwork, OrdersByDeliveryTime)
+{
+    AckNetwork net;
+    NetPacket a, b;
+    net.send(0, 7, &a, false); // due 9
+    net.send(1, 2, &b, true);  // due 5
+
+    AckEvent ev;
+    ASSERT_TRUE(net.popDue(100, ev));
+    EXPECT_EQ(ev.pkt, &b);
+    EXPECT_TRUE(ev.isNack);
+    ASSERT_TRUE(net.popDue(100, ev));
+    EXPECT_EQ(ev.pkt, &a);
+    EXPECT_FALSE(net.popDue(100, ev));
+}
+
+TEST(AckNetwork, ZeroDistance)
+{
+    AckNetwork net;
+    NetPacket pkt;
+    net.send(10, 0, &pkt, true); // node acks itself (hotspot node 0)
+    AckEvent ev;
+    ASSERT_TRUE(net.popDue(10 + AckNetwork::kBaseDelay, ev));
+    EXPECT_TRUE(ev.isNack);
+}
+
+TEST(AckNetwork, ManyInFlight)
+{
+    AckNetwork net;
+    NetPacket pkts[50];
+    for (int i = 0; i < 50; ++i)
+        net.send(static_cast<Cycle>(i), i % 8, &pkts[i], i % 2 == 0);
+    EXPECT_EQ(net.pending(), 50u);
+    int drained = 0;
+    AckEvent ev;
+    Cycle last = 0;
+    while (net.popDue(1000, ev)) {
+        EXPECT_GE(ev.deliverAt, last);
+        last = ev.deliverAt;
+        ++drained;
+    }
+    EXPECT_EQ(drained, 50);
+}
+
+} // namespace
+} // namespace taqos

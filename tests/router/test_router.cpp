@@ -1,0 +1,258 @@
+/// Router arbitration, priority, and preemption mechanics, exercised on a
+/// real column with hand-injected packets (the traffic generator is
+/// silenced with a zero rate).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/column_sim.h"
+
+namespace taqos {
+namespace {
+
+TrafficConfig
+silentTraffic()
+{
+    TrafficConfig t;
+    t.injectionRate = 0.0;
+    return t;
+}
+
+ColumnConfig
+smallColumn(TopologyKind kind, QosMode mode = QosMode::Pvc)
+{
+    ColumnConfig col;
+    col.topology = kind;
+    col.mode = mode;
+    return col;
+}
+
+/// Queue a fresh packet on `flow` towards `dst`.
+NetPacket *
+inject(ColumnSim &sim, FlowId flow, NodeId dst, int size = 1)
+{
+    NetPacket *pkt = sim.pool().alloc();
+    pkt->flow = flow;
+    pkt->src = sim.cfg().nodeOfFlow(flow);
+    pkt->dst = dst;
+    pkt->sizeFlits = size;
+    pkt->genCycle = sim.now();
+    pkt->queuedCycle = sim.now();
+    sim.network().injector(flow).queue.push_back(pkt);
+    return pkt;
+}
+
+Cycle
+runUntilDelivered(ColumnSim &sim, const NetPacket *pkt, Cycle budget)
+{
+    const Cycle limit = sim.now() + budget;
+    while (sim.now() < limit) {
+        if (pkt->state == PacketState::Delivered)
+            return pkt->deliverCycle;
+        sim.step();
+    }
+    return kNoCycle;
+}
+
+TEST(Router, DeliversSinglePacket)
+{
+    for (auto kind : kAllTopologies) {
+        ColumnSim sim(smallColumn(kind), silentTraffic());
+        NetPacket *pkt = inject(sim, /*flow=*/8 * 6, /*dst=*/1, 4);
+        EXPECT_NE(runUntilDelivered(sim, pkt, 200), kNoCycle)
+            << topologyName(kind);
+        sim.checkInvariants();
+    }
+}
+
+TEST(Router, ZeroLoadLatencyOrdering)
+{
+    // A 4-flit packet over distance 5: MECS and DPS beat the mesh
+    // (Sec. 5.2's router-delay argument).
+    std::map<TopologyKind, Cycle> lat;
+    for (auto kind : kAllTopologies) {
+        ColumnSim sim(smallColumn(kind), silentTraffic());
+        NetPacket *pkt = inject(sim, 8 * 7, /*dst=*/2, 4);
+        const Cycle done = runUntilDelivered(sim, pkt, 300);
+        ASSERT_NE(done, kNoCycle);
+        lat[kind] = done;
+    }
+    EXPECT_LT(lat[TopologyKind::Mecs], lat[TopologyKind::MeshX1]);
+    EXPECT_LT(lat[TopologyKind::Dps], lat[TopologyKind::MeshX1]);
+    // Long transfers favour MECS over DPS (one express hop vs repeaters).
+    EXPECT_LE(lat[TopologyKind::Mecs], lat[TopologyKind::Dps]);
+}
+
+TEST(Router, ShortTransfersFavourDps)
+{
+    // Adjacent-node transfer: DPS's shallow pipeline beats MECS's 3-stage
+    // router.
+    ColumnSim mecs(smallColumn(TopologyKind::Mecs), silentTraffic());
+    NetPacket *a = inject(mecs, 8 * 3, 4, 1);
+    const Cycle tMecs = runUntilDelivered(mecs, a, 100);
+
+    ColumnSim dps(smallColumn(TopologyKind::Dps), silentTraffic());
+    NetPacket *b = inject(dps, 8 * 3, 4, 1);
+    const Cycle tDps = runUntilDelivered(dps, b, 100);
+
+    ASSERT_NE(tMecs, kNoCycle);
+    ASSERT_NE(tDps, kNoCycle);
+    EXPECT_LT(tDps, tMecs);
+}
+
+TEST(Router, MecsLatencyGrowsSlowlyWithDistance)
+{
+    // Express channels: extra distance costs wire cycles only.
+    Cycle prev = 0;
+    for (NodeId dst = 1; dst <= 7; ++dst) {
+        ColumnSim sim(smallColumn(TopologyKind::Mecs), silentTraffic());
+        NetPacket *pkt = inject(sim, 0, dst, 1);
+        const Cycle done = runUntilDelivered(sim, pkt, 100);
+        ASSERT_NE(done, kNoCycle);
+        if (dst > 1) {
+            EXPECT_EQ(done - prev, 1u) << "dst " << dst;
+        }
+        prev = done;
+    }
+}
+
+TEST(Router, PriorityArbitrationPicksLowCounterFlow)
+{
+    ColumnSim sim(smallColumn(TopologyKind::MeshX1), silentTraffic());
+    const FlowId hog = 8 * 2 + 0;   // terminal injector of node 2
+    const FlowId light = 8 * 2 + 1; // row injector of node 2 (east port)
+
+    // Let the hog consume bandwidth first so its counters grow.
+    for (int i = 0; i < 20; ++i)
+        inject(sim, hog, 0, 4);
+    sim.run(300);
+
+    // Now race one packet from each; they share neither injection port
+    // nor VC, so arbitration at the column output decides by priority.
+    NetPacket *hogPkt = inject(sim, hog, 0, 4);
+    NetPacket *lightPkt = inject(sim, light, 0, 4);
+    Cycle hogDone = kNoCycle, lightDone = kNoCycle;
+    for (int i = 0; i < 500; ++i) {
+        sim.step();
+        if (hogPkt->state == PacketState::Delivered && hogDone == kNoCycle)
+            hogDone = hogPkt->deliverCycle;
+        if (lightPkt->state == PacketState::Delivered &&
+            lightDone == kNoCycle)
+            lightDone = lightPkt->deliverCycle;
+    }
+    ASSERT_NE(hogDone, kNoCycle);
+    ASSERT_NE(lightDone, kNoCycle);
+    EXPECT_LT(lightDone, hogDone);
+}
+
+TEST(Router, KillPacketTearsDownChain)
+{
+    ColumnSim sim(smallColumn(TopologyKind::MeshX1), silentTraffic());
+    NetPacket *pkt = inject(sim, 8 * 7, 0, 4);
+    // Step until the packet is in flight and owns at least one VC.
+    while (pkt->state != PacketState::InFlight || pkt->numLocs == 0)
+        sim.step();
+    TickContext ctx;
+    ctx.now = sim.now();
+    AckNetwork ack;
+    SimMetrics metrics(64);
+    ctx.ack = &ack;
+    ctx.metrics = &metrics;
+
+    sim.network().router(7)->killPacket(pkt, ctx);
+    EXPECT_EQ(pkt->state, PacketState::Dropped);
+    EXPECT_EQ(pkt->numLocs, 0);
+    EXPECT_EQ(pkt->numXfers, 0);
+    EXPECT_EQ(pkt->preemptions, 1);
+    EXPECT_EQ(metrics.preemptionEvents, 1u);
+    EXPECT_EQ(ack.pending(), 1u);
+    sim.checkInvariants();
+}
+
+TEST(Router, NackedPacketRetransmitsAndDelivers)
+{
+    ColumnSim sim(smallColumn(TopologyKind::MeshX1), silentTraffic());
+    NetPacket *pkt = inject(sim, 8 * 5, 0, 4);
+    while (pkt->state != PacketState::InFlight || pkt->numLocs == 0)
+        sim.step();
+    // Kill through the real context so the NACK flows through the sim's
+    // ACK network and the source retransmits.
+    TickContext ctx;
+    ctx.now = sim.now();
+    SimMetrics metrics(64);
+    ctx.metrics = &metrics;
+    // Reuse the sim's internal ack network by dropping through a router
+    // tick: simplest is to call killPacket with a scratch ack net and
+    // then re-queue manually — instead exercise the public path:
+    // preemption happens organically in the preemption tests; here we
+    // verify the retransmission plumbing directly.
+    pkt->state = PacketState::Dropped;
+    for (int i = 0; i < pkt->numLocs; ++i) {
+        const VcRef &loc = pkt->locs[static_cast<std::size_t>(i)];
+        loc.port->vcs[static_cast<std::size_t>(loc.vc)].free(sim.now() + 1);
+    }
+    pkt->clearLocs();
+    while (pkt->numXfers > 0)
+        pkt->xfers[0]->cancelTransfer(sim.now());
+    pkt->state = PacketState::Queued;
+    pkt->queuedCycle = sim.now();
+    sim.network().injector(pkt->flow).queue.push_front(pkt);
+    EXPECT_NE(runUntilDelivered(sim, pkt, 300), kNoCycle);
+    EXPECT_GE(pkt->attempt, 2);
+}
+
+TEST(Router, NoQosUsesRoundRobin)
+{
+    // Two injectors on the same port alternate under round-robin even if
+    // one had consumed far more bandwidth before.
+    ColumnSim sim(smallColumn(TopologyKind::MeshX1, QosMode::NoQos),
+                  silentTraffic());
+    const FlowId a = 8 * 4 + 1, b = 8 * 4 + 2; // same east row port
+    for (int i = 0; i < 10; ++i) {
+        inject(sim, a, 0, 1);
+        inject(sim, b, 0, 1);
+    }
+    sim.run(600);
+    // Both drained without starvation.
+    EXPECT_TRUE(sim.network().injector(a).queue.empty());
+    EXPECT_TRUE(sim.network().injector(b).queue.empty());
+    sim.checkInvariants();
+}
+
+TEST(Router, WindowLimitsOutstanding)
+{
+    ColumnConfig col = smallColumn(TopologyKind::Mecs);
+    col.pvc.windowLimit = 2;
+    ColumnSim sim(col, silentTraffic());
+    const FlowId f = 8 * 6;
+    for (int i = 0; i < 10; ++i)
+        inject(sim, f, 0, 4);
+    for (int i = 0; i < 30; ++i) {
+        sim.step();
+        EXPECT_LE(sim.network().injector(f).outstanding, 2);
+    }
+    sim.run(1000);
+    EXPECT_TRUE(sim.network().injector(f).queue.empty());
+}
+
+TEST(Router, FrameFlushClearsTables)
+{
+    ColumnConfig col = smallColumn(TopologyKind::MeshX1);
+    col.pvc.frameLen = 500;
+    ColumnSim sim(col, silentTraffic());
+    const FlowId f = 8 * 3;
+    for (int i = 0; i < 5; ++i)
+        inject(sim, f, 0, 4);
+    sim.run(400);
+    Router *r = sim.network().router(3);
+    bool charged = false;
+    for (const auto &out : r->outputs())
+        charged |= r->flowTable().countOf(out->tableIdx, f) > 0;
+    EXPECT_TRUE(charged);
+    sim.run(200); // crosses the 500-cycle frame boundary
+    for (const auto &out : r->outputs())
+        EXPECT_EQ(r->flowTable().countOf(out->tableIdx, f), 0u);
+}
+
+} // namespace
+} // namespace taqos

@@ -1,0 +1,130 @@
+/// Configuration-space coverage: non-default column sizes, VC overrides,
+/// ejection buffering, frame lengths and window limits all simulate
+/// correctly end to end.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/column_sim.h"
+
+namespace taqos {
+namespace {
+
+class SimConfig : public ::testing::TestWithParam<TopologyKind> {};
+
+TEST_P(SimConfig, FourNodeColumn)
+{
+    ColumnConfig col;
+    col.topology = GetParam();
+    col.numNodes = 4;
+    TrafficConfig t;
+    t.injectionRate = 0.03;
+    t.genUntil = 5000;
+    ColumnSim sim(col, t);
+    const Cycle done = sim.runUntilDrained(50000, 5000);
+    ASSERT_NE(done, kNoCycle);
+    EXPECT_EQ(sim.metrics().deliveredPackets,
+              sim.metrics().generatedPackets);
+    sim.checkInvariants();
+}
+
+TEST_P(SimConfig, FewerInjectorsPerNode)
+{
+    ColumnConfig col;
+    col.topology = GetParam();
+    col.injectorsPerNode = 4;
+    col.eastRowInjectors = 2;
+    TrafficConfig t;
+    t.injectionRate = 0.05;
+    t.genUntil = 5000;
+    ColumnSim sim(col, t);
+    const Cycle done = sim.runUntilDrained(50000, 5000);
+    ASSERT_NE(done, kNoCycle);
+    sim.checkInvariants();
+}
+
+TEST_P(SimConfig, VcOverrideStillCorrect)
+{
+    // Starved VC budgets (2 per port) must stay correct, just slower.
+    ColumnConfig col;
+    col.topology = GetParam();
+    col.vcsPerPort = 2;
+    TrafficConfig t;
+    t.injectionRate = 0.04;
+    t.genUntil = 5000;
+    ColumnSim sim(col, t);
+    const Cycle done = sim.runUntilDrained(80000, 5000);
+    ASSERT_NE(done, kNoCycle);
+    EXPECT_EQ(sim.metrics().deliveredPackets,
+              sim.metrics().generatedPackets);
+}
+
+TEST_P(SimConfig, MoreVcsNeverHurtThroughput)
+{
+    const auto thpt = [&](int vcs) {
+        ColumnConfig col;
+        col.topology = GetParam();
+        col.vcsPerPort = vcs;
+        TrafficConfig t;
+        t.pattern = TrafficPattern::Hotspot;
+        t.injectionRate = 0.05;
+        ColumnSim sim(col, t);
+        sim.setMeasureWindow(4000, 20000);
+        sim.run(20000);
+        return sim.metrics().throughputFlitsPerCycle(16000);
+    };
+    EXPECT_GE(thpt(16) + 0.03, thpt(2));
+}
+
+TEST_P(SimConfig, SingleEjectionVc)
+{
+    ColumnConfig col;
+    col.topology = GetParam();
+    col.ejectionVcs = 1;
+    TrafficConfig t;
+    t.injectionRate = 0.02;
+    t.genUntil = 4000;
+    ColumnSim sim(col, t);
+    const Cycle done = sim.runUntilDrained(60000, 4000);
+    ASSERT_NE(done, kNoCycle);
+}
+
+TEST_P(SimConfig, TinyWindowStillCompletes)
+{
+    ColumnConfig col;
+    col.topology = GetParam();
+    col.pvc.windowLimit = 1;
+    TrafficConfig t;
+    t.injectionRate = 0.02;
+    t.genUntil = 3000;
+    ColumnSim sim(col, t);
+    const Cycle done = sim.runUntilDrained(100000, 3000);
+    ASSERT_NE(done, kNoCycle);
+    EXPECT_EQ(sim.metrics().deliveredPackets,
+              sim.metrics().generatedPackets);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, SimConfig,
+                         ::testing::ValuesIn(kAllTopologies),
+                         [](const auto &info) {
+                             return std::string(topologyName(info.param));
+                         });
+
+TEST(SimConfigFbfly, ExtensionTopologyEndToEnd)
+{
+    ColumnConfig col;
+    col.topology = TopologyKind::FlatButterfly;
+    TrafficConfig t;
+    t.pattern = TrafficPattern::UniformRandom;
+    t.injectionRate = 0.08;
+    t.genUntil = 8000;
+    ColumnSim sim(col, t);
+    const Cycle done = sim.runUntilDrained(80000, 8000);
+    ASSERT_NE(done, kNoCycle);
+    EXPECT_EQ(sim.metrics().deliveredPackets,
+              sim.metrics().generatedPackets);
+    sim.checkInvariants();
+}
+
+} // namespace
+} // namespace taqos

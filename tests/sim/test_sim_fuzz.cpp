@@ -1,0 +1,150 @@
+/// Failure injection and randomized stress: kill random in-flight packets
+/// mid-run (as hostile preemptions), randomize configurations, and verify
+/// the flow-control invariants and end-to-end delivery guarantees survive.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/column_sim.h"
+#include "traffic/workloads.h"
+
+namespace taqos {
+namespace {
+
+/// Collect every packet currently holding a VC anywhere in the column.
+std::vector<NetPacket *>
+inFlightPackets(ColumnNetwork &net)
+{
+    std::vector<NetPacket *> pkts;
+    const auto scan = [&pkts](InputPort &port) {
+        for (const auto &vc : port.vcs) {
+            NetPacket *pkt = vc.packet();
+            if (pkt != nullptr && pkt->state == PacketState::InFlight &&
+                (pkts.empty() || pkts.back() != pkt)) {
+                pkts.push_back(pkt);
+            }
+        }
+    };
+    for (NodeId n = 0; n < net.numNodes(); ++n) {
+        for (const auto &in : net.router(n)->inputs())
+            scan(*in);
+        scan(*net.termPort(n));
+    }
+    return pkts;
+}
+
+class SimFuzz : public ::testing::TestWithParam<TopologyKind> {};
+
+TEST_P(SimFuzz, RandomKillsNeverCorruptState)
+{
+    ColumnConfig col;
+    col.topology = GetParam();
+    TrafficConfig t;
+    t.pattern = TrafficPattern::UniformRandom;
+    t.injectionRate = 0.08;
+    t.genUntil = 12000;
+    ColumnSim sim(col, t);
+
+    Rng rng(0xdead + static_cast<std::uint64_t>(GetParam()));
+    AckNetwork scratchAck; // unused: kills go through the sim's plumbing
+
+    std::uint64_t kills = 0;
+    for (int step = 0; step < 12000; ++step) {
+        sim.step();
+        if (step % 97 != 0)
+            continue;
+        auto pkts = inFlightPackets(sim.network());
+        if (pkts.empty())
+            continue;
+        NetPacket *victim =
+            pkts[static_cast<std::size_t>(rng.nextBelow(pkts.size()))];
+        // Kill through a real router so the NACK rides the sim's ACK
+        // network (node choice only affects the modelled NACK delay).
+        // We must use the same TickContext services the sim uses, so
+        // route the kill through the sim's own step machinery:
+        TickContext ctx;
+        ctx.now = sim.now();
+        ctx.metrics = &sim.metrics();
+        ctx.ack = nullptr; // filled below
+        // The sim's internal ack network is private; emulate the NACK by
+        // using killPacket with a local ack net and re-queueing manually,
+        // exactly as ColumnSim::processAcks would.
+        ctx.ack = &scratchAck;
+        sim.network().router(victim->src)->killPacket(victim, ctx);
+        AckEvent ev;
+        while (scratchAck.popDue(ctx.now + 1000, ev)) {
+            ev.pkt->state = PacketState::Queued;
+            ev.pkt->queuedCycle = sim.now();
+            sim.network().injector(ev.pkt->flow).queue.push_front(ev.pkt);
+        }
+        ++kills;
+        if (kills % 16 == 0)
+            sim.checkInvariants();
+    }
+    EXPECT_GT(kills, 20u);
+
+    // Despite the injected failures, the run drains completely and every
+    // packet is delivered exactly once.
+    const Cycle done = sim.runUntilDrained(300000, 12000);
+    ASSERT_NE(done, kNoCycle);
+    EXPECT_EQ(sim.metrics().deliveredPackets,
+              sim.metrics().generatedPackets);
+    sim.checkInvariants();
+}
+
+TEST_P(SimFuzz, RandomConfigurationsRun)
+{
+    Rng rng(42 + static_cast<std::uint64_t>(GetParam()));
+    for (int trial = 0; trial < 6; ++trial) {
+        ColumnConfig col;
+        col.topology = GetParam();
+        col.pvc.frameLen =
+            static_cast<Cycle>(rng.nextRange(2000, 80000));
+        col.pvc.windowLimit = static_cast<int>(rng.nextRange(2, 64));
+        col.pvc.preemptGapFlits =
+            static_cast<std::uint64_t>(rng.nextRange(0, 256));
+        col.pvc.preemptWaitCycles = static_cast<int>(rng.nextRange(1, 12));
+        col.pvc.reservedVcEnabled = rng.bernoulli(0.5);
+        col.pvc.quotaEnabled = rng.bernoulli(0.8);
+
+        TrafficConfig t;
+        t.pattern = rng.bernoulli(0.5) ? TrafficPattern::UniformRandom
+                                       : TrafficPattern::Hotspot;
+        t.injectionRate = 0.01 + 0.1 * rng.nextDouble();
+        t.seed = rng.nextU64();
+
+        ColumnSim sim(col, t);
+        sim.run(6000);
+        sim.checkInvariants();
+        EXPECT_GT(sim.metrics().deliveredPackets, 0u) << "trial " << trial;
+    }
+}
+
+TEST_P(SimFuzz, ZeroAndExtremeSizes)
+{
+    // Degenerate columns and all-long / all-short packet mixes.
+    for (double shortProb : {0.0, 1.0}) {
+        ColumnConfig col;
+        col.topology = GetParam();
+        TrafficConfig t;
+        t.shortPacketProb = shortProb;
+        t.injectionRate = 0.05;
+        t.genUntil = 4000;
+        ColumnSim sim(col, t);
+        const Cycle done = sim.runUntilDrained(60000, 4000);
+        ASSERT_NE(done, kNoCycle);
+        EXPECT_EQ(sim.metrics().deliveredPackets,
+                  sim.metrics().generatedPackets);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, SimFuzz,
+                         ::testing::ValuesIn(kAllTopologies),
+                         [](const auto &info) {
+                             return std::string(topologyName(info.param));
+                         });
+
+} // namespace
+} // namespace taqos

@@ -1,0 +1,118 @@
+/// Throughput behaviour vs offered load: acceptance below saturation, the
+/// ejection-bandwidth ceiling, and the paper's saturation ordering on
+/// tornado traffic (bisection-limited meshes first).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "sim/column_sim.h"
+
+namespace taqos {
+namespace {
+
+double
+acceptedThroughput(TopologyKind kind, TrafficPattern pattern, double rate)
+{
+    ColumnConfig col;
+    col.topology = kind;
+    TrafficConfig t;
+    t.pattern = pattern;
+    t.injectionRate = rate;
+    ColumnSim sim(col, t);
+    sim.setMeasureWindow(5000, 25000);
+    sim.run(28000);
+    return sim.metrics().throughputFlitsPerCycle(20000) / 64.0;
+}
+
+class SimLoads : public ::testing::TestWithParam<TopologyKind> {};
+
+TEST_P(SimLoads, AcceptsOfferedLoadBelowSaturation)
+{
+    const double rate = 0.02;
+    const double accepted =
+        acceptedThroughput(GetParam(), TrafficPattern::UniformRandom, rate);
+    EXPECT_NEAR(accepted, rate, 0.1 * rate);
+}
+
+TEST_P(SimLoads, ThroughputMonotonicUpToSaturation)
+{
+    double prev = 0.0;
+    for (double rate : {0.02, 0.04, 0.06}) {
+        const double acc = acceptedThroughput(
+            GetParam(), TrafficPattern::UniformRandom, rate);
+        EXPECT_GE(acc, prev - 0.002);
+        prev = acc;
+    }
+}
+
+TEST_P(SimLoads, EjectionLinkCapsUniformThroughput)
+{
+    // One flit/cycle per terminal / 8 injectors = 12.5% per injector.
+    const double acc = acceptedThroughput(
+        GetParam(), TrafficPattern::UniformRandom, 0.25);
+    EXPECT_LE(acc, 0.130);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, SimLoads,
+                         ::testing::ValuesIn(kAllTopologies),
+                         [](const auto &info) {
+                             return std::string(topologyName(info.param));
+                         });
+
+TEST(SimLoadOrdering, TornadoSaturationFollowsBisection)
+{
+    // At 8%/injector tornado, mesh_x1 (sat ~3%) and mesh_x2 (~6%) are
+    // saturated while mesh_x4 / MECS / DPS still accept the load.
+    std::map<TopologyKind, double> acc;
+    for (auto kind : kAllTopologies)
+        acc[kind] =
+            acceptedThroughput(kind, TrafficPattern::Tornado, 0.08);
+
+    EXPECT_LT(acc[TopologyKind::MeshX1], 0.05);
+    EXPECT_LT(acc[TopologyKind::MeshX2], 0.075);
+    EXPECT_LT(acc[TopologyKind::MeshX1], acc[TopologyKind::MeshX2]);
+    EXPECT_GT(acc[TopologyKind::MeshX4], 0.070);
+    EXPECT_GT(acc[TopologyKind::Mecs], 0.075);
+    EXPECT_GT(acc[TopologyKind::Dps], 0.075);
+}
+
+TEST(SimLoadOrdering, UniformRandomMeshX1SaturatesFirst)
+{
+    std::map<TopologyKind, double> acc;
+    for (auto kind : kAllTopologies)
+        acc[kind] =
+            acceptedThroughput(kind, TrafficPattern::UniformRandom, 0.10);
+    EXPECT_LT(acc[TopologyKind::MeshX1], acc[TopologyKind::MeshX2]);
+    EXPECT_LT(acc[TopologyKind::MeshX2], acc[TopologyKind::Mecs]);
+    EXPECT_GT(acc[TopologyKind::Dps], 0.09);
+    EXPECT_GT(acc[TopologyKind::Mecs], 0.09);
+}
+
+TEST(SimLoadOrdering, LatencyAdvantageOfRichTopologies)
+{
+    // Sec. 5.2: MECS and DPS have lower average latency than meshes on
+    // both patterns; tornado's longer distances favour MECS over DPS.
+    const auto latency = [](TopologyKind kind, TrafficPattern p) {
+        ColumnConfig col;
+        col.topology = kind;
+        TrafficConfig t;
+        t.pattern = p;
+        t.injectionRate = 0.02;
+        ColumnSim sim(col, t);
+        sim.setMeasureWindow(3000, 18000);
+        sim.run(22000);
+        return sim.metrics().latency.mean();
+    };
+
+    for (auto p : {TrafficPattern::UniformRandom, TrafficPattern::Tornado}) {
+        const double mesh = latency(TopologyKind::MeshX1, p);
+        EXPECT_LT(latency(TopologyKind::Mecs, p), mesh);
+        EXPECT_LT(latency(TopologyKind::Dps, p), mesh);
+    }
+    EXPECT_LT(latency(TopologyKind::Mecs, TrafficPattern::Tornado),
+              latency(TopologyKind::Dps, TrafficPattern::Tornado));
+}
+
+} // namespace
+} // namespace taqos

@@ -1,0 +1,141 @@
+/// PVC preemption semantics: who can be discarded, what is protected, and
+/// the end-to-end guarantee that every preempted packet is eventually
+/// retransmitted and delivered.
+#include <gtest/gtest.h>
+
+#include "sim/column_sim.h"
+#include "traffic/workloads.h"
+
+namespace taqos {
+namespace {
+
+TEST(Preemption, PerFlowQueueingNeverPreempts)
+{
+    for (auto kind : kAllTopologies) {
+        ColumnConfig col;
+        col.topology = kind;
+        col.mode = QosMode::PerFlowQueue;
+        TrafficConfig t = makeWorkload1(col);
+        t.genUntil = 20000;
+        ColumnSim sim(col, t);
+        const Cycle done = sim.runUntilDrained(200000, 20000);
+        ASSERT_NE(done, kNoCycle) << topologyName(kind);
+        EXPECT_EQ(sim.metrics().preemptionEvents, 0u) << topologyName(kind);
+    }
+}
+
+TEST(Preemption, NoQosNeverPreempts)
+{
+    ColumnConfig col;
+    col.topology = TopologyKind::MeshX1;
+    col.mode = QosMode::NoQos;
+    TrafficConfig t = makeHotspotAll(col, 0.05);
+    ColumnSim sim(col, t);
+    sim.run(30000);
+    EXPECT_EQ(sim.metrics().preemptionEvents, 0u);
+}
+
+TEST(Preemption, AdversarialWorkloadTriggersPreemptions)
+{
+    ColumnConfig col;
+    col.topology = TopologyKind::MeshX4;
+    TrafficConfig t = makeWorkload1(col);
+    t.genUntil = 30000;
+    ColumnSim sim(col, t);
+    sim.setMeasureWindow(0, 30000);
+    const Cycle done = sim.runUntilDrained(300000, 30000);
+    ASSERT_NE(done, kNoCycle);
+    EXPECT_GT(sim.metrics().preemptionEvents, 50u);
+    EXPECT_GT(sim.metrics().wastedHops, 0.0);
+    // And yet: everything generated was eventually delivered.
+    EXPECT_EQ(sim.metrics().deliveredPackets,
+              sim.metrics().generatedPackets);
+}
+
+TEST(Preemption, ReplicatedMeshesThrashMost)
+{
+    // Fig. 5(a): flows diverging over parallel channels converge at the
+    // destination and thrash; mesh x4 replays more hops than mesh x1.
+    const auto hopRate = [](TopologyKind kind) {
+        ColumnConfig col;
+        col.topology = kind;
+        TrafficConfig t = makeWorkload1(col);
+        t.genUntil = 40000;
+        ColumnSim sim(col, t);
+        sim.setMeasureWindow(0, 40000);
+        sim.runUntilDrained(400000, 40000);
+        return sim.metrics().preemptionHopRate();
+    };
+    const double x1 = hopRate(TopologyKind::MeshX1);
+    const double x4 = hopRate(TopologyKind::MeshX4);
+    EXPECT_GT(x4, x1);
+    EXPECT_GT(x4, 0.05);
+}
+
+TEST(Preemption, QuotaThrottlesFullHotspot)
+{
+    // Table 2's regime: with all 64 sources at their provisioned share,
+    // virtually everything is rate-compliant — preemptions are rare.
+    for (auto kind : {TopologyKind::MeshX4, TopologyKind::Dps}) {
+        ColumnConfig col;
+        col.topology = kind;
+        TrafficConfig t = makeHotspotAll(col, 0.05);
+        ColumnSim sim(col, t);
+        sim.setMeasureWindow(5000, 45000);
+        sim.run(45000);
+        const double rate = sim.metrics().preemptionPacketRate();
+        EXPECT_LT(rate, 0.01) << topologyName(kind);
+    }
+}
+
+TEST(Preemption, DisablingQuotaRemovesThrottle)
+{
+    // On Workload 1 the quota is what protects below-share flows from
+    // being discarded; without it preemption incidence rises.
+    const auto events = [](bool quota) {
+        ColumnConfig col;
+        col.topology = TopologyKind::MeshX1;
+        col.pvc.quotaEnabled = quota;
+        TrafficConfig t = makeWorkload1(col);
+        t.genUntil = 25000;
+        ColumnSim sim(col, t);
+        sim.runUntilDrained(250000, 25000);
+        return sim.metrics().preemptionEvents;
+    };
+    const auto with = events(true);
+    const auto without = events(false);
+    EXPECT_GT(without, with);
+}
+
+TEST(Preemption, PreemptedPacketsRetryAndLatencyIncludesReplays)
+{
+    ColumnConfig col;
+    col.topology = TopologyKind::MeshX2;
+    TrafficConfig t = makeWorkload1(col);
+    t.genUntil = 20000;
+    ColumnSim sim(col, t);
+    sim.setMeasureWindow(0, 20000);
+    const Cycle done = sim.runUntilDrained(200000, 20000);
+    ASSERT_NE(done, kNoCycle);
+    ASSERT_GT(sim.metrics().preemptionEvents, 0u);
+    // Wasted + useful hops are both accounted.
+    EXPECT_GT(sim.metrics().usefulHops, sim.metrics().wastedHops);
+    sim.checkInvariants();
+}
+
+TEST(Preemption, WindowNeverOverflowsUnderReplayStorm)
+{
+    ColumnConfig col;
+    col.topology = TopologyKind::MeshX4;
+    col.pvc.windowLimit = 4;
+    TrafficConfig t = makeWorkload1(col);
+    t.genUntil = 15000;
+    ColumnSim sim(col, t);
+    for (int i = 0; i < 40; ++i) {
+        sim.run(500);
+        sim.checkInvariants(); // asserts outstanding <= windowLimit
+    }
+}
+
+} // namespace
+} // namespace taqos

@@ -1,0 +1,131 @@
+/// Properties of the Figure-3 geometries: orderings the paper reports.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "power/tech.h"
+#include "topo/geometry.h"
+
+namespace taqos {
+namespace {
+
+class GeometryFixture : public ::testing::Test {
+  protected:
+    void SetUp() override
+    {
+        for (auto kind : kAllTopologies) {
+            ColumnConfig col;
+            col.topology = kind;
+            geom_[kind] = representativeGeometry(kind, col);
+            area_[kind] = computeRouterArea(geom_[kind], tech32nm());
+        }
+    }
+
+    std::map<TopologyKind, RouterGeometry> geom_;
+    std::map<TopologyKind, AreaBreakdown> area_;
+};
+
+TEST_F(GeometryFixture, RowBuffersIdenticalAcrossTopologies)
+{
+    // Figure 3's dotted line: row-input capacity is topology-independent.
+    const double ref = area_[TopologyKind::MeshX1].rowBuffersMm2;
+    for (auto kind : kAllTopologies)
+        EXPECT_DOUBLE_EQ(area_[kind].rowBuffersMm2, ref);
+}
+
+TEST_F(GeometryFixture, MeshX1MostCompact)
+{
+    for (auto kind : kAllTopologies) {
+        if (kind == TopologyKind::MeshX1)
+            continue;
+        EXPECT_LT(area_[TopologyKind::MeshX1].totalMm2(),
+                  area_[kind].totalMm2())
+            << topologyName(kind);
+    }
+}
+
+TEST_F(GeometryFixture, MeshX4LargestViaCrossbar)
+{
+    for (auto kind : kAllTopologies) {
+        if (kind == TopologyKind::MeshX4)
+            continue;
+        EXPECT_GT(area_[TopologyKind::MeshX4].totalMm2(),
+                  area_[kind].totalMm2());
+        EXPECT_GT(area_[TopologyKind::MeshX4].xbarMm2,
+                  area_[kind].xbarMm2);
+    }
+}
+
+TEST_F(GeometryFixture, MecsHasLargestBuffersButCompactSwitch)
+{
+    for (auto kind : kAllTopologies) {
+        if (kind == TopologyKind::Mecs)
+            continue;
+        EXPECT_GT(area_[TopologyKind::Mecs].columnBuffersMm2,
+                  area_[kind].columnBuffersMm2);
+    }
+    EXPECT_LE(area_[TopologyKind::Mecs].xbarMm2,
+              area_[TopologyKind::MeshX2].xbarMm2);
+}
+
+TEST_F(GeometryFixture, DpsComparableToMecsSmallerBuffersBiggerXbar)
+{
+    const auto &dps = area_[TopologyKind::Dps];
+    const auto &mecs = area_[TopologyKind::Mecs];
+    EXPECT_LT(dps.columnBuffersMm2, mecs.columnBuffersMm2);
+    EXPECT_GT(dps.xbarMm2, mecs.xbarMm2);
+    EXPECT_NEAR(dps.totalMm2() / mecs.totalMm2(), 1.0, 0.25);
+}
+
+TEST_F(GeometryFixture, MeshX2SimilarFootprintToMecsDps)
+{
+    const double x2 = area_[TopologyKind::MeshX2].totalMm2();
+    EXPECT_NEAR(x2 / area_[TopologyKind::Mecs].totalMm2(), 1.0, 0.35);
+    EXPECT_NEAR(x2 / area_[TopologyKind::Dps].totalMm2(), 1.0, 0.35);
+}
+
+TEST_F(GeometryFixture, OnlyMecsPaysInputFeed)
+{
+    EXPECT_GT(geom_[TopologyKind::Mecs].xbarInputFeedUm, 0.0);
+    EXPECT_DOUBLE_EQ(geom_[TopologyKind::MeshX1].xbarInputFeedUm, 0.0);
+    EXPECT_DOUBLE_EQ(geom_[TopologyKind::Dps].xbarInputFeedUm, 0.0);
+}
+
+TEST_F(GeometryFixture, CrossbarPortCounts)
+{
+    // Sec. 5.1: 5x5 for mesh x1, 11x11 for mesh x4; MECS asymmetric 5x5;
+    // DPS has one column output per subnet.
+    EXPECT_EQ(geom_[TopologyKind::MeshX1].xbarInputs, 5);
+    EXPECT_EQ(geom_[TopologyKind::MeshX1].xbarOutputs, 5);
+    EXPECT_EQ(geom_[TopologyKind::MeshX4].xbarInputs, 11);
+    EXPECT_EQ(geom_[TopologyKind::MeshX4].xbarOutputs, 11);
+    EXPECT_EQ(geom_[TopologyKind::Mecs].xbarInputs, 5);
+    EXPECT_EQ(geom_[TopologyKind::Dps].xbarOutputs, 10);
+}
+
+TEST(GeometryOptions, QosOffRemovesFlowStateAndReservedVc)
+{
+    ColumnConfig col;
+    col.topology = TopologyKind::Dps;
+    GeometryOptions on, off;
+    off.qosEnabled = false;
+    const RouterGeometry gOn = representativeGeometry(col.topology, col, on);
+    const RouterGeometry gOff =
+        representativeGeometry(col.topology, col, off);
+    EXPECT_EQ(gOff.flowTableOutputs, 0);
+    EXPECT_GT(gOn.flowTableOutputs, 0);
+    EXPECT_EQ(gOff.columnBuffers[0].vcsPerPort,
+              gOn.columnBuffers[0].vcsPerPort - 1);
+}
+
+TEST(Geometry, DpsEndNodesSmaller)
+{
+    ColumnConfig col;
+    col.topology = TopologyKind::Dps;
+    const RouterGeometry end = columnRouterGeometry(TopologyKind::Dps, col, 0);
+    const RouterGeometry mid = columnRouterGeometry(TopologyKind::Dps, col, 4);
+    EXPECT_LT(totalColumnBufferFlits(end), totalColumnBufferFlits(mid));
+}
+
+} // namespace
+} // namespace taqos

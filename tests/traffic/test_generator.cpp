@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "noc/metrics.h"
+#include "traffic/generator.h"
+
+namespace taqos {
+namespace {
+
+struct GenHarness {
+    GenHarness(TrafficConfig t, int nodes = 8, int perNode = 8)
+        : metrics(nodes * perNode)
+    {
+        col.numNodes = nodes;
+        col.injectorsPerNode = perNode;
+        col.canonicalize();
+        injectors.resize(static_cast<std::size_t>(col.numFlows()));
+        for (FlowId f = 0; f < col.numFlows(); ++f)
+            injectors[static_cast<std::size_t>(f)].flow = f;
+        gen = std::make_unique<TrafficGenerator>(col, t);
+    }
+
+    void run(Cycle cycles)
+    {
+        for (Cycle c = 0; c < cycles; ++c)
+            gen->tick(c, pool, injectors, metrics);
+    }
+
+    ColumnConfig col;
+    PacketPool pool;
+    std::vector<InjectorQueue> injectors;
+    SimMetrics metrics;
+    std::unique_ptr<TrafficGenerator> gen;
+};
+
+TEST(Generator, RateAccuracy)
+{
+    TrafficConfig t;
+    t.injectionRate = 0.10;
+    t.maxQueueDepth = 1u << 20;
+    GenHarness h(t);
+    h.run(50000);
+    const double flitsPerCyclePerInj =
+        static_cast<double>(h.metrics.generatedFlits) / 50000.0 / 64.0;
+    EXPECT_NEAR(flitsPerCyclePerInj, 0.10, 0.01);
+}
+
+TEST(Generator, PacketSizeMix)
+{
+    TrafficConfig t;
+    t.injectionRate = 0.10;
+    t.maxQueueDepth = 1u << 20;
+    GenHarness h(t);
+    h.run(20000);
+    // 50/50 short/long: mean packet size 2.5 flits.
+    const double mean = static_cast<double>(h.metrics.generatedFlits) /
+                        static_cast<double>(h.metrics.generatedPackets);
+    EXPECT_NEAR(mean, 2.5, 0.1);
+}
+
+TEST(Generator, HotspotDestinations)
+{
+    TrafficConfig t;
+    t.pattern = TrafficPattern::Hotspot;
+    t.hotspotNode = 3;
+    GenHarness h(t);
+    h.run(2000);
+    for (const auto &inj : h.injectors)
+        for (const auto *pkt : inj.queue)
+            EXPECT_EQ(pkt->dst, 3);
+}
+
+TEST(Generator, TornadoDestinations)
+{
+    TrafficConfig t;
+    t.pattern = TrafficPattern::Tornado;
+    GenHarness h(t);
+    h.run(2000);
+    for (const auto &inj : h.injectors) {
+        const NodeId src = h.col.nodeOfFlow(inj.flow);
+        for (const auto *pkt : inj.queue)
+            EXPECT_EQ(pkt->dst, (src + 4) % 8);
+    }
+}
+
+TEST(Generator, UniformExcludesSelfAndCoversAll)
+{
+    TrafficConfig t;
+    t.pattern = TrafficPattern::UniformRandom;
+    t.injectionRate = 0.2;
+    t.maxQueueDepth = 1u << 20;
+    GenHarness h(t);
+    h.run(20000);
+    std::vector<std::set<NodeId>> dests(8);
+    for (const auto &inj : h.injectors) {
+        const NodeId src = h.col.nodeOfFlow(inj.flow);
+        for (const auto *pkt : inj.queue) {
+            EXPECT_NE(pkt->dst, src);
+            dests[static_cast<std::size_t>(src)].insert(pkt->dst);
+        }
+    }
+    for (NodeId n = 0; n < 8; ++n)
+        EXPECT_EQ(dests[static_cast<std::size_t>(n)].size(), 7u);
+}
+
+TEST(Generator, ActiveFlowMaskAndPerFlowRates)
+{
+    TrafficConfig t;
+    t.pattern = TrafficPattern::Hotspot;
+    t.activeFlows.assign(64, false);
+    t.activeFlows[5] = true;
+    t.flowRates.assign(64, -1.0);
+    t.flowRates[5] = 0.2;
+    t.maxQueueDepth = 1u << 20;
+    GenHarness h(t);
+    h.run(20000);
+    for (const auto &inj : h.injectors) {
+        if (inj.flow == 5)
+            EXPECT_GT(inj.queue.size(), 0u);
+        else
+            EXPECT_EQ(inj.queue.size(), 0u);
+    }
+    const double rate =
+        static_cast<double>(h.metrics.generatedFlits) / 20000.0;
+    EXPECT_NEAR(rate, 0.2, 0.03);
+}
+
+TEST(Generator, GenUntilStopsGeneration)
+{
+    TrafficConfig t;
+    t.injectionRate = 0.1;
+    t.genUntil = 1000;
+    t.maxQueueDepth = 1u << 20;
+    GenHarness h(t);
+    h.run(5000);
+    const auto after1k = h.metrics.generatedPackets;
+    EXPECT_GT(after1k, 0u);
+    h.run(5000); // cycles restart at 0 in this harness; use a fresh one
+    GenHarness h2(t);
+    for (Cycle c = 0; c < 5000; ++c)
+        h2.gen->tick(c, h2.pool, h2.injectors, h2.metrics);
+    GenHarness h3(t);
+    for (Cycle c = 0; c < 1000; ++c)
+        h3.gen->tick(c, h3.pool, h3.injectors, h3.metrics);
+    EXPECT_EQ(h2.metrics.generatedPackets, h3.metrics.generatedPackets);
+}
+
+TEST(Generator, QueueDepthSuppression)
+{
+    TrafficConfig t;
+    t.injectionRate = 0.5;
+    t.maxQueueDepth = 10;
+    GenHarness h(t);
+    h.run(10000);
+    for (const auto &inj : h.injectors)
+        EXPECT_LE(inj.queue.size(), 10u);
+    EXPECT_GT(h.gen->suppressed(), 0u);
+}
+
+TEST(Generator, DeterministicAcrossRuns)
+{
+    TrafficConfig t;
+    t.injectionRate = 0.08;
+    t.seed = 777;
+    GenHarness a(t), b(t);
+    a.run(5000);
+    b.run(5000);
+    ASSERT_EQ(a.metrics.generatedPackets, b.metrics.generatedPackets);
+    for (FlowId f = 0; f < 64; ++f) {
+        const auto &qa = a.injectors[static_cast<std::size_t>(f)].queue;
+        const auto &qb = b.injectors[static_cast<std::size_t>(f)].queue;
+        ASSERT_EQ(qa.size(), qb.size());
+        for (std::size_t i = 0; i < qa.size(); ++i) {
+            EXPECT_EQ(qa[i]->dst, qb[i]->dst);
+            EXPECT_EQ(qa[i]->sizeFlits, qb[i]->sizeFlits);
+            EXPECT_EQ(qa[i]->genCycle, qb[i]->genCycle);
+        }
+    }
+}
+
+TEST(Generator, SeedChangesTraffic)
+{
+    TrafficConfig t;
+    t.injectionRate = 0.08;
+    t.seed = 1;
+    GenHarness a(t);
+    t.seed = 2;
+    GenHarness b(t);
+    a.run(5000);
+    b.run(5000);
+    // Statistically similar volume but different sequences.
+    EXPECT_NEAR(static_cast<double>(a.metrics.generatedPackets),
+                static_cast<double>(b.metrics.generatedPackets),
+                0.2 * static_cast<double>(a.metrics.generatedPackets));
+}
+
+TEST(Generator, MeasuredFlagFollowsWindow)
+{
+    TrafficConfig t;
+    t.injectionRate = 0.2;
+    t.maxQueueDepth = 1u << 20;
+    GenHarness h(t);
+    h.metrics.measureStart = 1000;
+    h.metrics.measureEnd = 2000;
+    h.run(3000);
+    for (const auto &inj : h.injectors) {
+        for (const auto *pkt : inj.queue) {
+            EXPECT_EQ(pkt->measured,
+                      pkt->genCycle >= 1000 && pkt->genCycle < 2000);
+        }
+    }
+    EXPECT_GT(h.metrics.measuredGenerated, 0u);
+}
+
+} // namespace
+} // namespace taqos

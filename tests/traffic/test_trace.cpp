@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "sim/column_sim.h"
+#include "traffic/trace.h"
+
+namespace taqos {
+namespace {
+
+ColumnConfig
+defaultCol()
+{
+    ColumnConfig col;
+    col.canonicalize();
+    return col;
+}
+
+TEST(Trace, RecordMatchesGeneratorVolume)
+{
+    const ColumnConfig col = defaultCol();
+    TrafficConfig t;
+    t.injectionRate = 0.05;
+    t.seed = 99;
+    const TrafficTrace trace = TrafficTrace::record(col, t, 10000);
+    EXPECT_GT(trace.size(), 0u);
+    // ~64 injectors * 0.05/2.5 packets/cycle * 10000 cycles.
+    EXPECT_NEAR(static_cast<double>(trace.size()), 64 * 0.02 * 10000,
+                0.1 * 64 * 0.02 * 10000);
+    EXPECT_LE(trace.lastCycle(), 9999u);
+}
+
+TEST(Trace, EntriesOrderedAndValid)
+{
+    const ColumnConfig col = defaultCol();
+    TrafficConfig t;
+    t.pattern = TrafficPattern::Tornado;
+    t.injectionRate = 0.04;
+    const TrafficTrace trace = TrafficTrace::record(col, t, 5000);
+    Cycle prev = 0;
+    for (const auto &e : trace.entries()) {
+        EXPECT_GE(e.cycle, prev);
+        prev = e.cycle;
+        EXPECT_GE(e.flow, 0);
+        EXPECT_LT(e.flow, 64);
+        EXPECT_EQ(e.dst, (col.nodeOfFlow(e.flow) + 4) % 8);
+        EXPECT_TRUE(e.sizeFlits == 1 || e.sizeFlits == 4);
+    }
+}
+
+TEST(Trace, CsvRoundTrip)
+{
+    TrafficTrace trace;
+    trace.append(TraceEntry{0, 3, 5, 4});
+    trace.append(TraceEntry{7, 60, 0, 1});
+    trace.append(TraceEntry{7, 12, 2, 4});
+    const TrafficTrace back = TrafficTrace::fromCsv(trace.toCsv());
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back.entries()[0].cycle, 0u);
+    EXPECT_EQ(back.entries()[1].flow, 60);
+    EXPECT_EQ(back.entries()[2].dst, 2);
+    EXPECT_EQ(back.entries()[2].sizeFlits, 4);
+    EXPECT_EQ(back.totalFlits(), 9u);
+}
+
+TEST(Trace, ReplayReproducesGeneratorRunExactly)
+{
+    const ColumnConfig col = defaultCol();
+    TrafficConfig t;
+    t.injectionRate = 0.05;
+    t.seed = 1234;
+    t.genUntil = 8000;
+
+    // Live generator run.
+    ColumnSim live(col, t);
+    live.setMeasureWindow(0, 8000);
+    const Cycle doneLive = live.runUntilDrained(50000, 8000);
+
+    // Record the same traffic, replay it through a fresh sim.
+    const TrafficTrace trace = TrafficTrace::record(col, t, 8000);
+    ColumnSim replay(col, trace);
+    replay.setMeasureWindow(0, 8000);
+    const Cycle doneReplay = replay.runUntilDrained(50000, 8000);
+
+    EXPECT_EQ(doneLive, doneReplay);
+    EXPECT_EQ(live.metrics().generatedPackets,
+              replay.metrics().generatedPackets);
+    EXPECT_EQ(live.metrics().deliveredFlits,
+              replay.metrics().deliveredFlits);
+    EXPECT_DOUBLE_EQ(live.metrics().latency.mean(),
+                     replay.metrics().latency.mean());
+    for (FlowId f = 0; f < col.numFlows(); ++f)
+        EXPECT_EQ(live.metrics().flowFlits[static_cast<std::size_t>(f)],
+                  replay.metrics().flowFlits[static_cast<std::size_t>(f)]);
+}
+
+TEST(Trace, ReplayAcrossTopologies)
+{
+    // One recorded workload, three fabrics: deliveries must be complete
+    // everywhere (the workload is fabric-independent).
+    ColumnConfig col = defaultCol();
+    TrafficConfig t;
+    t.injectionRate = 0.03;
+    const TrafficTrace trace = TrafficTrace::record(col, t, 5000);
+    for (auto kind :
+         {TopologyKind::MeshX1, TopologyKind::Mecs, TopologyKind::Dps}) {
+        col.topology = kind;
+        ColumnSim sim(col, trace);
+        const Cycle done = sim.runUntilDrained(60000, 5000);
+        ASSERT_NE(done, kNoCycle) << topologyName(kind);
+        EXPECT_EQ(sim.metrics().deliveredPackets, trace.size());
+    }
+}
+
+TEST(Trace, ReplayerExhaustion)
+{
+    const ColumnConfig col = defaultCol();
+    TrafficTrace trace;
+    trace.append(TraceEntry{2, 8, 0, 1});
+    ColumnSim sim(col, trace);
+    sim.run(100);
+    EXPECT_EQ(sim.metrics().generatedPackets, 1u);
+    EXPECT_EQ(sim.metrics().deliveredPackets, 1u);
+}
+
+TEST(Trace, EmptyCsv)
+{
+    const TrafficTrace trace = TrafficTrace::fromCsv("cycle,flow,dst,size\n");
+    EXPECT_EQ(trace.size(), 0u);
+    EXPECT_EQ(trace.lastCycle(), 0u);
+}
+
+} // namespace
+} // namespace taqos

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "traffic/workloads.h"
+
+namespace taqos {
+namespace {
+
+ColumnConfig
+defaultCol()
+{
+    ColumnConfig col;
+    col.canonicalize();
+    return col;
+}
+
+TEST(Workloads, HotspotAllActivatesEveryFlow)
+{
+    const ColumnConfig col = defaultCol();
+    const TrafficConfig t = makeHotspotAll(col, 0.05, 0);
+    EXPECT_EQ(t.pattern, TrafficPattern::Hotspot);
+    EXPECT_EQ(t.hotspotNode, 0);
+    EXPECT_TRUE(t.activeFlows.empty()); // empty mask = all active
+    for (FlowId f = 0; f < col.numFlows(); ++f) {
+        EXPECT_TRUE(t.flowActive(f));
+        EXPECT_DOUBLE_EQ(t.rateOf(f), 0.05);
+    }
+}
+
+TEST(Workloads, W1OnlyTerminalInjectors)
+{
+    const ColumnConfig col = defaultCol();
+    const TrafficConfig t = makeWorkload1(col);
+    int active = 0;
+    for (FlowId f = 0; f < col.numFlows(); ++f) {
+        if (!t.flowActive(f))
+            continue;
+        ++active;
+        EXPECT_EQ(f % col.injectorsPerNode, 0)
+            << "only terminal injectors may be active";
+    }
+    EXPECT_EQ(active, 8);
+}
+
+TEST(Workloads, W1RatesMatchPaperEnvelope)
+{
+    const auto &rates = workload1Rates();
+    ASSERT_EQ(rates.size(), 8u);
+    double sum = 0.0;
+    for (double r : rates) {
+        EXPECT_GE(r, 0.05);
+        EXPECT_LE(r, 0.20);
+        sum += r;
+    }
+    // "the average is around 14%" and offered load exceeds the 12.5%
+    // saturation share.
+    EXPECT_NEAR(sum / 8.0, 0.14, 0.012);
+    EXPECT_GT(sum, 1.0);
+}
+
+TEST(Workloads, W1LowRateFarFromHotspot)
+{
+    // The preemption cascade needs rare high-priority packets crossing
+    // the backlogged chain: the farthest node gets the lowest rate.
+    const auto &rates = workload1Rates();
+    EXPECT_DOUBLE_EQ(rates.back(), 0.05);
+    EXPECT_DOUBLE_EQ(rates.front(), 0.20);
+}
+
+TEST(Workloads, W2NineSources)
+{
+    const ColumnConfig col = defaultCol();
+    const TrafficConfig t = makeWorkload2(col);
+    std::set<FlowId> active;
+    for (FlowId f = 0; f < col.numFlows(); ++f)
+        if (t.flowActive(f))
+            active.insert(f);
+    ASSERT_EQ(active.size(), 9u);
+    // All eight injectors of node 7.
+    for (int k = 0; k < 8; ++k)
+        EXPECT_TRUE(active.count(col.flowOf(7, k)));
+    // Plus one injector at node 6.
+    EXPECT_TRUE(active.count(col.flowOf(6, 0)));
+}
+
+TEST(Workloads, W2RatesWithinRange)
+{
+    const auto &rates = workload2Rates();
+    ASSERT_EQ(rates.size(), 9u);
+    for (double r : rates) {
+        EXPECT_GE(r, 0.05);
+        EXPECT_LE(r, 0.20);
+    }
+}
+
+TEST(Workloads, InactiveFlowsHaveNoRate)
+{
+    const ColumnConfig col = defaultCol();
+    const TrafficConfig t = makeWorkload1(col);
+    EXPECT_FALSE(t.flowActive(col.flowOf(3, 2)));
+}
+
+TEST(Patterns, NamesRoundTrip)
+{
+    for (auto p : {TrafficPattern::UniformRandom, TrafficPattern::Tornado,
+                   TrafficPattern::Hotspot}) {
+        const auto parsed = parsePattern(patternName(p));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, p);
+    }
+    EXPECT_EQ(parsePattern("UR"), TrafficPattern::UniformRandom);
+    EXPECT_FALSE(parsePattern("bitrev").has_value());
+}
+
+TEST(Patterns, MeanPacketFlits)
+{
+    TrafficConfig t;
+    EXPECT_DOUBLE_EQ(t.meanPacketFlits(), 2.5);
+    t.shortPacketProb = 1.0;
+    EXPECT_DOUBLE_EQ(t.meanPacketFlits(), 1.0);
+    t.shortPacketProb = 0.0;
+    EXPECT_DOUBLE_EQ(t.meanPacketFlits(), 4.0);
+}
+
+} // namespace
+} // namespace taqos
