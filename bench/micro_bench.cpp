@@ -1,11 +1,22 @@
 /// Google-benchmark microbenchmarks: simulator cycle throughput per
-/// topology, router arbitration cost, RNG, and max-min allocation — the
-/// performance envelope of the library itself.
+/// topology (column and whole chip), router arbitration cost, RNG, and
+/// max-min allocation — the performance envelope of the library itself.
+///
+/// Before the google-benchmark suite runs, a fixed-work timing pass
+/// writes `BENCH_micro.json` (simulated cycles/second, wall time and
+/// delivered flits/cycle per topology) so the perf trajectory of the
+/// repo is recorded machine-readably on every run.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/experiments.h"
 #include "core/maxmin.h"
+#include "sim/chip_sim.h"
 #include "sim/column_sim.h"
 #include "traffic/workloads.h"
 
@@ -44,6 +55,23 @@ BM_SimHotspotCycles(benchmark::State &state)
 }
 
 void
+BM_ChipSimCycles(benchmark::State &state)
+{
+    const auto kind = static_cast<TopologyKind>(state.range(0));
+    ChipNetConfig cfg;
+    cfg.column = paperColumn(kind);
+    TrafficConfig traffic;
+    traffic.pattern = TrafficPattern::UniformRandom;
+    traffic.injectionRate = 0.04;
+    ChipSim sim(cfg, traffic);
+    sim.run(2000);
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(topologyName(kind));
+}
+
+void
 BM_Rng(benchmark::State &state)
 {
     Rng rng(42);
@@ -72,12 +100,116 @@ BM_BuildColumn(benchmark::State &state)
     state.SetLabel(topologyName(kind));
 }
 
+void
+BM_BuildChip(benchmark::State &state)
+{
+    const auto kind = static_cast<TopologyKind>(state.range(0));
+    for (auto _ : state) {
+        ChipNetConfig cfg;
+        cfg.column = paperColumn(kind);
+        benchmark::DoNotOptimize(ChipNetwork::build(cfg));
+    }
+    state.SetLabel(topologyName(kind));
+}
+
+// ------------------------------------------------- BENCH_micro.json pass
+
+struct MicroRow {
+    std::string name;
+    Cycle cycles = 0;
+    double wallMs = 0.0;
+    double simCyclesPerSec = 0.0;
+    double deliveredFlitsPerCycle = 0.0;
+};
+
+template <typename Sim>
+MicroRow
+timeSim(const std::string &name, Sim &sim, Cycle cycles)
+{
+    sim.run(2000); // warm-up outside the timed window
+    const auto flitsBefore = sim.metrics().deliveredFlits;
+    const auto t0 = std::chrono::steady_clock::now();
+    sim.run(cycles);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec =
+        std::chrono::duration<double>(t1 - t0).count();
+
+    MicroRow row;
+    row.name = name;
+    row.cycles = cycles;
+    row.wallMs = sec * 1e3;
+    row.simCyclesPerSec = static_cast<double>(cycles) / sec;
+    row.deliveredFlitsPerCycle =
+        static_cast<double>(sim.metrics().deliveredFlits - flitsBefore) /
+        static_cast<double>(cycles);
+    return row;
+}
+
+void
+writeMicroJson(const char *path)
+{
+    constexpr Cycle kCycles = 20000;
+    std::vector<MicroRow> rows;
+    for (auto kind : kAllTopologies) {
+        TrafficConfig traffic;
+        traffic.pattern = TrafficPattern::UniformRandom;
+        traffic.injectionRate = 0.08;
+        ColumnSim sim(paperColumn(kind), traffic);
+        rows.push_back(timeSim(std::string("column_") + topologyName(kind),
+                               sim, kCycles));
+    }
+    {
+        ChipNetConfig cfg;
+        cfg.column = paperColumn(TopologyKind::Dps);
+        TrafficConfig traffic;
+        traffic.pattern = TrafficPattern::UniformRandom;
+        traffic.injectionRate = 0.04;
+        ChipSim sim(cfg, traffic);
+        rows.push_back(timeSim("chip_dps", sim, kCycles));
+    }
+
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"micro\",\n  \"unit\": "
+                    "{\"simCyclesPerSec\": \"Hz\", \"wallMs\": \"ms\"},\n"
+                    "  \"results\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const MicroRow &r = rows[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"simCycles\": %llu, "
+                     "\"wallMs\": %.3f, \"simCyclesPerSec\": %.0f, "
+                     "\"deliveredFlitsPerCycle\": %.4f}%s\n",
+                     r.name.c_str(),
+                     static_cast<unsigned long long>(r.cycles), r.wallMs,
+                     r.simCyclesPerSec, r.deliveredFlitsPerCycle,
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu entries)\n", path, rows.size());
+}
+
 } // namespace
 
 BENCHMARK(BM_SimCycles)->DenseRange(0, 4);
 BENCHMARK(BM_SimHotspotCycles)->DenseRange(0, 4);
+BENCHMARK(BM_ChipSimCycles)->DenseRange(0, 4);
 BENCHMARK(BM_Rng);
 BENCHMARK(BM_MaxMin)->Arg(64)->Arg(1024);
 BENCHMARK(BM_BuildColumn)->DenseRange(0, 4);
+BENCHMARK(BM_BuildChip)->DenseRange(0, 4);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    writeMicroJson("BENCH_micro.json");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

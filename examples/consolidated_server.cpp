@@ -4,6 +4,9 @@
 /// programs the shared column's flow registers with the VMs' SLA weights;
 /// PVC then delivers memory bandwidth in proportion to priority, and the
 /// isolation audit confirms no interference outside the QOS region.
+/// The scenario runs cycle-accurately end to end on the whole chip:
+/// every VM's memory requests traverse its row mesh into the
+/// QOS-protected column.
 ///
 ///   $ ./consolidated_server
 #include <cstdio>
@@ -67,35 +70,46 @@ main()
                 audit.audit().size());
 
     // Program the shared column's flow registers from the VM weights and
-    // run the memory column under full load.
-    ColumnConfig column;
-    column.topology = TopologyKind::Dps;
-    column.numNodes = chip.nodesY();
-    column.pvc = os.columnFlowRegisters(4, column);
+    // run the whole chip — row meshes plus the DPS + PVC column —
+    // cycle-accurately until every memory request has drained.
+    ChipNetConfig cfg;
+    cfg.chip = chip;
+    cfg.column.topology = TopologyKind::Dps;
+    cfg.column.numNodes = chip.nodesY();
+    cfg.column.pvc = os.columnFlowRegisters(cfg.columnX(), cfg.column);
 
-    std::printf("=== shared memory column under full load (DPS + PVC) ===\n");
-    const TrafficConfig traffic = makeHotspotAll(column, 0.05);
-    ColumnSim sim(column, traffic);
+    std::printf("=== full-chip run: rows -> shared DPS column (PVC) ===\n");
+    TrafficConfig traffic = makeHotspotAll(cfg.column, 0.05);
+    traffic.genUntil = 110000;
+    ChipSim sim(cfg, traffic);
     sim.setMeasureWindow(10000, 110000);
-    sim.run(110000);
+    const Cycle done = sim.runUntilDrained(400000, traffic.genUntil);
+    sim.checkInvariants();
+    std::printf("  %llu packets delivered, %llu row handoffs, "
+                "%llu preemptions\n",
+                static_cast<unsigned long long>(
+                    sim.metrics().deliveredPackets),
+                static_cast<unsigned long long>(sim.handoffs()),
+                static_cast<unsigned long long>(
+                    sim.metrics().preemptionEvents));
+    if (done == kNoCycle)
+        std::printf("  drain: budget exhausted\n\n");
+    else
+        std::printf("  drained at cycle %llu, invariants clean\n\n",
+                    static_cast<unsigned long long>(done));
 
     // Attribute delivered bandwidth back to VMs through node ownership.
     double vmFlits[4] = {};
     const SimMetrics &m = sim.metrics();
+    const ChipNetwork &net = sim.network();
     for (int row = 0; row < chip.nodesY(); ++row) {
-        int injector = 1;
-        for (int x = 0; x < chip.nodesX(); ++x) {
-            if (x == 4)
-                continue;
-            if (injector >= column.injectorsPerNode)
-                break;
-            const int owner = os.ownerOf(NodeCoord{x, row});
-            const FlowId f = column.flowOf(row, injector);
+        for (int k = 1; k < cfg.column.injectorsPerNode; ++k) {
+            const int owner = os.ownerOf(NodeCoord{net.computeXOf(k), row});
             if (owner >= 1 && owner <= 3) {
                 vmFlits[owner] += static_cast<double>(
-                    m.flowFlits[static_cast<std::size_t>(f)]);
+                    m.flowFlits[static_cast<std::size_t>(
+                        cfg.column.flowOf(row, k))]);
             }
-            ++injector;
         }
     }
     for (const auto &s : servers) {

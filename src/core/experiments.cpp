@@ -2,10 +2,12 @@
 
 #include <algorithm>
 
+#include "chip/os.h"
 #include "common/assert.h"
 #include "common/stats.h"
 #include "core/maxmin.h"
 #include "power/tech.h"
+#include "sim/chip_sim.h"
 #include "sim/column_sim.h"
 #include "topo/geometry.h"
 #include "traffic/workloads.h"
@@ -248,6 +250,85 @@ runFig7Energy()
         rows.push_back(row);
     }
     return rows;
+}
+
+ChipConsolidationResult
+runChipConsolidation(TopologyKind kind, double ratePerNode,
+                     const RunPhases &phases)
+{
+    // The paper's Sec. 1 motivation: three consolidated servers with
+    // different service classes on one CMP.
+    struct Server {
+        int id;
+        int threads;
+        std::uint32_t weight;
+    };
+    const Server servers[] = {{1, 64, 4}, {2, 48, 2}, {3, 32, 1}};
+
+    ChipNetConfig cfg;
+    cfg.column.topology = kind;
+    cfg.column.mode = QosMode::Pvc;
+    cfg.column.numNodes = cfg.chip.nodesY();
+
+    OsScheduler os(cfg.chip);
+    for (const auto &s : servers) {
+        const auto vm = os.createVm(s.id, s.threads, s.weight);
+        TAQOS_ASSERT(vm.has_value(), "VM %d admission failed", s.id);
+    }
+    TAQOS_ASSERT(os.coScheduleInvariant(), "co-scheduling violated");
+    cfg.column.pvc = os.columnFlowRegisters(cfg.columnX(), cfg.column);
+
+    // Every VM-owned compute node streams memory requests at
+    // `ratePerNode` to uniformly spread memory-controller rows; terminal
+    // flows (the column's own resources) stay quiet.
+    TrafficConfig traffic;
+    traffic.pattern = TrafficPattern::UniformRandom;
+    traffic.injectionRate = ratePerNode;
+    traffic.genUntil = phases.measureEnd();
+    traffic.activeFlows.assign(
+        static_cast<std::size_t>(cfg.column.numFlows()), false);
+    for (int row = 0; row < cfg.chip.nodesY(); ++row) {
+        for (int k = 1; k < cfg.column.injectorsPerNode; ++k) {
+            if (os.ownerOf(NodeCoord{cfg.computeXOf(k), row}) >= 0) {
+                traffic.activeFlows[static_cast<std::size_t>(
+                    cfg.column.flowOf(row, k))] = true;
+            }
+        }
+    }
+
+    ChipSim sim(cfg, traffic);
+    sim.setMeasureWindow(phases.warmup, phases.measureEnd());
+
+    ChipConsolidationResult res;
+    res.drainCycle =
+        sim.runUntilDrained(phases.total() * 4, traffic.genUntil);
+    sim.checkInvariants();
+
+    const SimMetrics &m = sim.metrics();
+    res.deliveredPackets = m.deliveredPackets;
+    res.handoffs = sim.handoffs();
+    res.preemptions = m.preemptionEvents;
+    res.avgLatency = m.latency.mean();
+
+    for (const auto &s : servers) {
+        const VmInfo *vm = os.vm(s.id);
+        ChipVmShare share;
+        share.vmId = s.id;
+        share.weight = s.weight;
+        share.domainNodes = vm->domain.size();
+        for (int row = 0; row < cfg.chip.nodesY(); ++row) {
+            for (int k = 1; k < cfg.column.injectorsPerNode; ++k) {
+                if (os.ownerOf(NodeCoord{cfg.computeXOf(k), row}) != s.id)
+                    continue;
+                share.flits += m.flowFlits[static_cast<std::size_t>(
+                    cfg.column.flowOf(row, k))];
+            }
+        }
+        share.flitsPerNode = static_cast<double>(share.flits) /
+                             static_cast<double>(share.domainNodes);
+        res.vms.push_back(share);
+    }
+    return res;
 }
 
 } // namespace taqos

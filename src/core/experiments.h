@@ -121,4 +121,33 @@ struct EnergyRow {
 
 std::vector<EnergyRow> runFig7Energy();
 
+// ------------------------------------- consolidated server (Secs. 1, 2)
+
+struct ChipVmShare {
+    int vmId = -1;
+    std::uint32_t weight = 1;
+    std::size_t domainNodes = 0;
+    std::uint64_t flits = 0;       ///< delivered in the measure window
+    double flitsPerNode = 0.0;     ///< service normalized by domain size
+};
+
+struct ChipConsolidationResult {
+    Cycle drainCycle = kNoCycle;   ///< kNoCycle when the budget ran out
+    std::uint64_t deliveredPackets = 0;
+    std::uint64_t handoffs = 0;    ///< row-to-column boundary crossings
+    std::uint64_t preemptions = 0;
+    double avgLatency = 0.0;       ///< end-to-end, row segment included
+    std::vector<ChipVmShare> vms;
+};
+
+/// The paper's consolidated-server scenario cycle-accurate end to end on
+/// the full 8x8 chip: the hypervisor admits three VMs with different SLA
+/// weights, programs the shared column's flow registers from the
+/// placements, and every VM's memory traffic rides its row mesh into the
+/// PVC-protected column. Runs to drain and verifies the chip invariants.
+ChipConsolidationResult
+runChipConsolidation(TopologyKind kind = TopologyKind::Dps,
+                     double ratePerNode = 0.05,
+                     const RunPhases &phases = {});
+
 } // namespace taqos

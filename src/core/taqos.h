@@ -3,7 +3,10 @@
 ///
 /// Quick tour:
 ///  - topo/topology.h      — topology kinds + ColumnConfig (Table 1)
-///  - sim/column_sim.h     — the cycle-level shared-column simulator
+///  - topo/network.h       — topology-agnostic network substrate
+///  - sim/net_sim.h        — the cycle-level simulation engine
+///  - sim/column_sim.h     — the shared-column specialization
+///  - sim/chip_sim.h       — whole-chip simulation (rows + QOS column)
 ///  - traffic/pattern.h    — synthetic traffic configuration
 ///  - traffic/workloads.h  — Table-2 hotspot, adversarial Workloads 1 & 2
 ///  - qos/pvc.h            — Preemptive Virtual Clock parameters
@@ -28,9 +31,13 @@
 #include "power/router_power.h"
 #include "power/tech.h"
 #include "qos/pvc.h"
+#include "sim/chip_sim.h"
 #include "sim/column_sim.h"
+#include "sim/net_sim.h"
+#include "topo/chip_network.h"
 #include "topo/column_network.h"
 #include "topo/geometry.h"
+#include "topo/network.h"
 #include "topo/topology.h"
 #include "traffic/generator.h"
 #include "traffic/pattern.h"

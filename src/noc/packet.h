@@ -44,6 +44,10 @@ struct NetPacket {
     FlowId flow = kInvalidFlow;
     NodeId src = kInvalidNode;
     NodeId dst = kInvalidNode;
+    /// Final destination of a multi-segment journey (whole-chip sim: the
+    /// row segment routes on `dst` = the column-entry node, then the
+    /// handoff rewrites `dst` to `finalDst`). kInvalidNode otherwise.
+    NodeId finalDst = kInvalidNode;
     int sizeFlits = 1;
 
     Cycle genCycle = kNoCycle;     ///< first generation time

@@ -1,0 +1,130 @@
+#include "sim/chip_sim.h"
+
+#include "common/assert.h"
+
+namespace taqos {
+
+ChipTrafficSource::ChipTrafficSource(ChipNetwork &net,
+                                     const TrafficConfig &traffic)
+    : net_(net), traffic_(traffic), gen_(net.cfg(), traffic),
+      scratch_(static_cast<std::size_t>(net.cfg().numFlows()))
+{
+}
+
+void
+ChipTrafficSource::tick(Cycle now, PacketPool &pool,
+                        std::vector<InjectorQueue> &injectors,
+                        SimMetrics &metrics)
+{
+    if (!net_.injectAtSources()) {
+        gen_.tick(now, pool, injectors, metrics);
+        return;
+    }
+
+    gen_.tick(now, pool, scratch_, metrics);
+    const int perNode = net_.cfg().injectorsPerNode;
+    for (std::size_t f = 0; f < scratch_.size(); ++f) {
+        auto &staged = scratch_[f].queue;
+        while (!staged.empty()) {
+            NetPacket *pkt = staged.front();
+            staged.pop_front();
+            // Terminal flows originate at the column node itself; row
+            // flows at their compute node.
+            const bool terminal = static_cast<int>(f) % perNode == 0;
+            InjectorQueue &origin =
+                terminal ? injectors[f] : net_.sourceQueue(pkt->flow);
+            if (origin.queue.size() >= traffic_.maxQueueDepth) {
+                // Bounded memory far past saturation: undo the
+                // generator's accounting, as its own suppression would.
+                ++suppressed_;
+                --metrics.generatedPackets;
+                metrics.generatedFlits -=
+                    static_cast<std::uint64_t>(pkt->sizeFlits);
+                if (pkt->measured)
+                    --metrics.measuredGenerated;
+                pool.release(pkt);
+                continue;
+            }
+            if (!terminal) {
+                // Row segment first: route to the column-entry node.
+                pkt->finalDst = pkt->dst;
+                pkt->dst =
+                    net_.columnNodeId(net_.cfg().nodeOfFlow(pkt->flow));
+            }
+            origin.queue.push_back(pkt);
+        }
+    }
+}
+
+ChipSim::ChipSim(const ChipNetConfig &cfg, const TrafficConfig &traffic)
+    : NetSim(ChipNetwork::build(cfg))
+{
+    auto src = std::make_unique<ChipTrafficSource>(network(), traffic);
+    src_ = src.get();
+    setTrafficSource(std::move(src));
+}
+
+ChipSim::~ChipSim() = default;
+
+void
+ChipSim::tickTerminals()
+{
+    NetSim::tickTerminals();
+    for (InputPort *port : network().auxPorts()) {
+        for (int v = 0; v < static_cast<int>(port->vcs.size()); ++v) {
+            VirtualChannel &vc = port->vcs[static_cast<std::size_t>(v)];
+            if (vc.state() != VirtualChannel::State::Reserved)
+                continue;
+            if (now_ >= vc.tailArrival())
+                handoff(vc.packet(), port, v);
+        }
+    }
+}
+
+void
+ChipSim::handoff(NetPacket *pkt, InputPort *port, int vcIdx)
+{
+    TAQOS_ASSERT(pkt->state == PacketState::InFlight,
+                 "handoff for packet in state %d",
+                 static_cast<int>(pkt->state));
+    TAQOS_ASSERT(pkt->finalDst != kInvalidNode,
+                 "handoff for packet without a final destination");
+
+    pkt->removeLoc(port, vcIdx);
+    port->vcs[static_cast<std::size_t>(vcIdx)].free(
+        now_ + static_cast<Cycle>(port->creditDelay));
+
+    // The row traversal is completed service, not replayable work: a
+    // later column preemption replays only the column segment.
+    metrics_.usefulHops += pkt->hopsThisAttempt;
+
+    // Release the row-segment window slot; the PVC retransmission window
+    // is claimed afresh at the column entrance.
+    InjectorQueue &origin = network().sourceQueue(pkt->flow);
+    TAQOS_ASSERT(pkt->inWindow, "handoff for packet outside row window");
+    pkt->inWindow = false;
+    --origin.outstanding;
+    TAQOS_ASSERT(origin.outstanding >= 0, "row window underflow");
+
+    pkt->state = PacketState::Queued;
+    pkt->queuedCycle = now_;
+    pkt->dst = pkt->finalDst;
+    net().injector(pkt->flow).queue.push_back(pkt);
+    ++handoffs_;
+}
+
+void
+ChipSim::checkInvariants() const
+{
+    NetSim::checkInvariants();
+    auto &net = const_cast<ChipSim *>(this)->network();
+    for (const auto &q : net.rowQueues()) {
+        if (q.flow == kInvalidFlow)
+            continue; // terminal-flow slot, unused
+        TAQOS_ASSERT(q.outstanding >= 0 && q.outstanding <= q.windowLimit,
+                     "row window counter out of bounds for flow %d",
+                     q.flow);
+    }
+}
+
+} // namespace taqos

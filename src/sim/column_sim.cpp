@@ -1,217 +1,27 @@
 #include "sim/column_sim.h"
 
-#include <cstdlib>
-
-#include "common/assert.h"
-#include "router/router.h"
-
 namespace taqos {
 
-ColumnSim::ColumnSim(const ColumnConfig &col, const TrafficConfig &traffic)
-    : net_(ColumnNetwork::build(col)), metrics_(net_->numFlows())
+ColumnSim::ColumnSim(std::unique_ptr<ColumnNetwork> net)
+    : NetSim(std::move(net))
 {
-    gen_ = std::make_unique<TrafficGenerator>(net_->cfg(), traffic);
-    if (net_->cfg().mode == QosMode::Pvc)
-        quota_ = std::make_unique<QuotaTracker>(net_->cfg().pvc);
+}
+
+ColumnSim::ColumnSim(const ColumnConfig &col, const TrafficConfig &traffic)
+    : ColumnSim(ColumnNetwork::build(col))
+{
+    auto gen = std::make_unique<TrafficGenerator>(network().cfg(), traffic);
+    gen_ = gen.get();
+    setTrafficSource(std::move(gen));
 }
 
 ColumnSim::ColumnSim(const ColumnConfig &col, TrafficTrace trace)
-    : net_(ColumnNetwork::build(col)), metrics_(net_->numFlows())
+    : ColumnSim(ColumnNetwork::build(col))
 {
-    replay_ = std::make_unique<TraceReplayer>(net_->cfg(), std::move(trace));
-    if (net_->cfg().mode == QosMode::Pvc)
-        quota_ = std::make_unique<QuotaTracker>(net_->cfg().pvc);
+    setTrafficSource(
+        std::make_unique<TraceReplayer>(network().cfg(), std::move(trace)));
 }
 
 ColumnSim::~ColumnSim() = default;
-
-void
-ColumnSim::setMeasureWindow(Cycle start, Cycle end)
-{
-    metrics_.measureStart = start;
-    metrics_.measureEnd = end;
-}
-
-void
-ColumnSim::processFrameBoundary()
-{
-    const Cycle frame = cfg().pvc.frameLen;
-    if (cfg().mode != QosMode::Pvc || frame == 0 || now_ == 0 ||
-        now_ % frame != 0) {
-        return;
-    }
-    for (NodeId n = 0; n < net_->numNodes(); ++n)
-        net_->router(n)->frameFlush();
-    quota_->flush();
-
-    // The flush clears bandwidth history everywhere — including the
-    // priority copies carried by in-flight packets (priority reuse).
-    // Stale pre-flush priorities would otherwise starve DPS pass-through
-    // traffic against freshly-zeroed local counters for much of a frame.
-    const auto clearPort = [](InputPort *port) {
-        for (auto &vc : port->vcs) {
-            if (NetPacket *pkt = vc.packet())
-                pkt->carriedPrio = 0;
-        }
-    };
-    for (NodeId n = 0; n < net_->numNodes(); ++n) {
-        for (const auto &in : net_->router(n)->inputs())
-            clearPort(in.get());
-        clearPort(net_->termPort(n));
-    }
-}
-
-void
-ColumnSim::processAcks()
-{
-    AckEvent ev;
-    while (ack_.popDue(now_, ev)) {
-        NetPacket *pkt = ev.pkt;
-        InjectorQueue &inj = net_->injector(pkt->flow);
-        if (ev.isNack) {
-            // Retransmit: back to the head of the source queue; the packet
-            // keeps its window slot and its original generation time.
-            TAQOS_ASSERT(pkt->state == PacketState::Dropped,
-                         "NACK for packet not dropped");
-            pkt->state = PacketState::Queued;
-            pkt->queuedCycle = now_;
-            inj.queue.push_front(pkt);
-        } else {
-            TAQOS_ASSERT(pkt->state == PacketState::Delivered,
-                         "ACK for undelivered packet");
-            TAQOS_ASSERT(pkt->inWindow, "ACK for packet outside window");
-            pkt->inWindow = false;
-            --inj.outstanding;
-            TAQOS_ASSERT(inj.outstanding >= 0, "window underflow");
-            pool_.release(pkt);
-        }
-    }
-}
-
-void
-ColumnSim::deliver(NetPacket *pkt, InputPort *port, int vcIdx)
-{
-    pkt->state = PacketState::Delivered;
-    pkt->deliverCycle = now_;
-    pkt->removeLoc(port, vcIdx);
-    port->vcs[static_cast<std::size_t>(vcIdx)].free(
-        now_ + static_cast<Cycle>(port->creditDelay));
-
-    ++metrics_.deliveredPackets;
-    metrics_.deliveredFlits += static_cast<std::uint64_t>(pkt->sizeFlits);
-    metrics_.usefulHops += pkt->hopsThisAttempt;
-    if (pkt->measured) {
-        const double lat = static_cast<double>(now_ - pkt->genCycle);
-        metrics_.latency.push(lat);
-        metrics_.latencyHist.add(lat);
-    }
-    if (metrics_.inWindow(now_)) {
-        metrics_.flowFlits[static_cast<std::size_t>(pkt->flow)] +=
-            static_cast<std::uint64_t>(pkt->sizeFlits);
-    }
-
-    ack_.send(now_, std::abs(pkt->dst - pkt->src), pkt, /*isNack=*/false);
-}
-
-void
-ColumnSim::tickTerminals()
-{
-    for (NodeId n = 0; n < net_->numNodes(); ++n) {
-        InputPort *port = net_->termPort(n);
-        for (int v = 0; v < static_cast<int>(port->vcs.size()); ++v) {
-            VirtualChannel &vc = port->vcs[static_cast<std::size_t>(v)];
-            if (vc.state() != VirtualChannel::State::Reserved)
-                continue;
-            if (now_ >= vc.tailArrival())
-                deliver(vc.packet(), port, v);
-        }
-    }
-}
-
-void
-ColumnSim::step()
-{
-    processFrameBoundary();
-    processAcks();
-    if (gen_ != nullptr)
-        gen_->tick(now_, pool_, net_->injectors(), metrics_);
-    else
-        replay_->tick(now_, pool_, net_->injectors(), metrics_);
-
-    TickContext ctx;
-    ctx.now = now_;
-    ctx.quota = quota_.get();
-    ctx.ack = &ack_;
-    ctx.metrics = &metrics_;
-    for (NodeId n = 0; n < net_->numNodes(); ++n)
-        net_->router(n)->tickCompletions(now_);
-    for (NodeId n = 0; n < net_->numNodes(); ++n)
-        net_->router(n)->tickArbitrate(ctx);
-
-    tickTerminals();
-    ++now_;
-}
-
-void
-ColumnSim::run(Cycle cycles)
-{
-    for (Cycle c = 0; c < cycles; ++c)
-        step();
-}
-
-Cycle
-ColumnSim::runUntilDrained(Cycle maxCycles, Cycle earliestDone)
-{
-    const Cycle limit = now_ + maxCycles;
-    while (now_ < limit) {
-        if (now_ >= earliestDone && drained() && ack_.pending() == 0)
-            return now_;
-        step();
-    }
-    return drained() && ack_.pending() == 0 ? now_ : kNoCycle;
-}
-
-namespace {
-
-void
-checkPortInvariants(const InputPort &port)
-{
-    for (int v = 0; v < static_cast<int>(port.vcs.size()); ++v) {
-        const VirtualChannel &vc = port.vcs[static_cast<std::size_t>(v)];
-        if (vc.state() == VirtualChannel::State::Free)
-            continue;
-        const NetPacket *pkt = vc.packet();
-        TAQOS_ASSERT(pkt != nullptr, "occupied VC without packet");
-        TAQOS_ASSERT(pkt->state == PacketState::InFlight,
-                     "VC %s/%d holds packet in state %d", port.name.c_str(),
-                     v, static_cast<int>(pkt->state));
-        bool found = false;
-        for (int i = 0; i < pkt->numLocs; ++i) {
-            const VcRef &loc = pkt->locs[static_cast<std::size_t>(i)];
-            if (loc.port == &port && loc.vc == v)
-                found = true;
-        }
-        TAQOS_ASSERT(found, "VC %s/%d not in its packet's locations",
-                     port.name.c_str(), v);
-    }
-}
-
-} // namespace
-
-void
-ColumnSim::checkInvariants() const
-{
-    auto *net = const_cast<ColumnNetwork *>(net_.get());
-    for (NodeId n = 0; n < net->numNodes(); ++n) {
-        for (const auto &in : net->router(n)->inputs())
-            checkPortInvariants(*in);
-        checkPortInvariants(*net->termPort(n));
-    }
-    for (const auto &inj : net->injectors()) {
-        TAQOS_ASSERT(inj.outstanding >= 0 &&
-                         inj.outstanding <= inj.windowLimit,
-                     "window counter out of bounds for flow %d", inj.flow);
-    }
-}
 
 } // namespace taqos

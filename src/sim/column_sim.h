@@ -1,89 +1,44 @@
 /// \file column_sim.h
 /// The cycle-level simulator of one QOS-protected shared column — the
-/// in-house-simulator equivalent the paper's evaluation runs on.
-///
-/// Per-cycle phase order (dependences are cut by explicit delays, so the
-/// order within a cycle only has to be internally consistent):
-///   1. PVC frame boundary: flush flow tables and quota counters.
-///   2. ACK network delivery: completed packets retire and free their
-///      window slot; NACKed packets re-enter their source queue.
-///   3. Traffic generation into the source queues.
-///   4. Router ticks: transfer completions, then VC allocation /
-///      preemption per output.
-///   5. Terminal ejection: packets whose tail has arrived are delivered.
+/// in-house-simulator equivalent the paper's evaluation runs on. A thin
+/// specialization of the NetSim engine (sim/net_sim.h): ColumnNetwork
+/// provides the fabric, TrafficGenerator / TraceReplayer provide the
+/// traffic, and the engine supplies the per-cycle phase loop.
 #pragma once
 
 #include <memory>
 
-#include "noc/metrics.h"
-#include "noc/packet.h"
-#include "qos/ack_network.h"
-#include "qos/pvc.h"
-#include "sim/sim_config.h"
+#include "sim/net_sim.h"
 #include "topo/column_network.h"
 #include "traffic/generator.h"
 #include "traffic/trace.h"
 
 namespace taqos {
 
-class ColumnSim {
+class ColumnSim : public NetSim {
   public:
     ColumnSim(const ColumnConfig &col, const TrafficConfig &traffic);
     /// Drive the column from a pre-recorded trace instead of a stochastic
     /// generator (bit-identical replays, external workloads).
     ColumnSim(const ColumnConfig &col, TrafficTrace trace);
-    ~ColumnSim();
+    ~ColumnSim() override;
 
-    /// Advance one cycle.
-    void step();
-
-    /// Advance `cycles` cycles.
-    void run(Cycle cycles);
-
-    /// Run until every generated packet has been delivered and retired, or
-    /// `maxCycles` elapse. Returns the cycle at which the network drained
-    /// (kNoCycle on budget exhaustion). Meaningful once generation has a
-    /// horizon (TrafficConfig::genUntil); drain checks begin at
-    /// `earliestDone` (pass the generation horizon, so a quiet early cycle
-    /// is not mistaken for completion).
-    Cycle runUntilDrained(Cycle maxCycles, Cycle earliestDone = 0);
-
-    /// True when no packet is live (queued, in flight, or awaiting ACK).
-    bool drained() const { return pool_.liveCount() == 0; }
-
-    /// Open the measurement window [start, end): latency is recorded for
-    /// packets generated inside it, per-flow throughput for deliveries
-    /// inside it. Call before the window opens.
-    void setMeasureWindow(Cycle start, Cycle end);
-
-    Cycle now() const { return now_; }
-    SimMetrics &metrics() { return metrics_; }
-    const SimMetrics &metrics() const { return metrics_; }
-    ColumnNetwork &network() { return *net_; }
-    const ColumnConfig &cfg() const { return net_->cfg(); }
+    ColumnNetwork &network()
+    {
+        return static_cast<ColumnNetwork &>(*net_);
+    }
+    const ColumnNetwork &network() const
+    {
+        return static_cast<const ColumnNetwork &>(*net_);
+    }
+    const ColumnConfig &cfg() const { return network().cfg(); }
     /// Null when the sim was constructed from a trace.
-    TrafficGenerator *traffic() { return gen_.get(); }
-    PacketPool &pool() { return pool_; }
-
-    /// Structural self-check: every occupied VC's packet holds a matching
-    /// location record, occupancy chains are acyclic, and window counters
-    /// are within bounds. Used by tests after every scenario.
-    void checkInvariants() const;
+    TrafficGenerator *traffic() { return gen_; }
 
   private:
-    void processFrameBoundary();
-    void processAcks();
-    void tickTerminals();
-    void deliver(NetPacket *pkt, InputPort *port, int vcIdx);
+    explicit ColumnSim(std::unique_ptr<ColumnNetwork> net);
 
-    std::unique_ptr<ColumnNetwork> net_;
-    std::unique_ptr<TrafficGenerator> gen_;   ///< exactly one of gen_ /
-    std::unique_ptr<TraceReplayer> replay_;   ///< replay_ is set
-    std::unique_ptr<QuotaTracker> quota_; ///< null unless PVC
-    AckNetwork ack_;
-    PacketPool pool_;
-    SimMetrics metrics_;
-    Cycle now_ = 0;
+    TrafficGenerator *gen_ = nullptr; ///< owned by NetSim::source_
 };
 
 } // namespace taqos

@@ -1,0 +1,215 @@
+#include "sim/net_sim.h"
+
+#include "common/assert.h"
+#include "router/router.h"
+
+namespace taqos {
+
+NetSim::NetSim(std::unique_ptr<Network> net)
+    : net_(std::move(net)), metrics_(net_->numFlows())
+{
+    if (net_->mode() == QosMode::Pvc)
+        quota_ = std::make_unique<QuotaTracker>(net_->pvcParams());
+}
+
+NetSim::~NetSim() = default;
+
+void
+NetSim::setTrafficSource(std::unique_ptr<TrafficSource> source)
+{
+    source_ = std::move(source);
+}
+
+void
+NetSim::setMeasureWindow(Cycle start, Cycle end)
+{
+    metrics_.measureStart = start;
+    metrics_.measureEnd = end;
+}
+
+void
+NetSim::processFrameBoundary()
+{
+    const Cycle frame = net_->pvcParams().frameLen;
+    if (net_->mode() != QosMode::Pvc || frame == 0 || now_ == 0 ||
+        now_ % frame != 0) {
+        return;
+    }
+    for (NodeId n = 0; n < net_->numNodes(); ++n)
+        net_->router(n)->frameFlush();
+    quota_->flush();
+
+    // The flush clears bandwidth history everywhere — including the
+    // priority copies carried by in-flight packets (priority reuse).
+    // Stale pre-flush priorities would otherwise starve DPS pass-through
+    // traffic against freshly-zeroed local counters for much of a frame.
+    const auto clearPort = [](InputPort *port) {
+        for (auto &vc : port->vcs) {
+            if (NetPacket *pkt = vc.packet())
+                pkt->carriedPrio = 0;
+        }
+    };
+    for (NodeId n = 0; n < net_->numNodes(); ++n) {
+        for (const auto &in : net_->router(n)->inputs())
+            clearPort(in.get());
+        clearPort(net_->termPort(n));
+    }
+    for (InputPort *port : net_->auxPorts())
+        clearPort(port);
+}
+
+void
+NetSim::processAcks()
+{
+    AckEvent ev;
+    while (ack_.popDue(now_, ev)) {
+        NetPacket *pkt = ev.pkt;
+        InjectorQueue &inj = net_->injector(pkt->flow);
+        if (ev.isNack) {
+            // Retransmit: back to the head of the source queue; the packet
+            // keeps its window slot and its original generation time.
+            TAQOS_ASSERT(pkt->state == PacketState::Dropped,
+                         "NACK for packet not dropped");
+            pkt->state = PacketState::Queued;
+            pkt->queuedCycle = now_;
+            inj.queue.push_front(pkt);
+        } else {
+            TAQOS_ASSERT(pkt->state == PacketState::Delivered,
+                         "ACK for undelivered packet");
+            TAQOS_ASSERT(pkt->inWindow, "ACK for packet outside window");
+            pkt->inWindow = false;
+            --inj.outstanding;
+            TAQOS_ASSERT(inj.outstanding >= 0, "window underflow");
+            pool_.release(pkt);
+        }
+    }
+}
+
+void
+NetSim::deliver(NetPacket *pkt, InputPort *port, int vcIdx)
+{
+    pkt->state = PacketState::Delivered;
+    pkt->deliverCycle = now_;
+    pkt->removeLoc(port, vcIdx);
+    port->vcs[static_cast<std::size_t>(vcIdx)].free(
+        now_ + static_cast<Cycle>(port->creditDelay));
+
+    ++metrics_.deliveredPackets;
+    metrics_.deliveredFlits += static_cast<std::uint64_t>(pkt->sizeFlits);
+    metrics_.usefulHops += pkt->hopsThisAttempt;
+    if (pkt->measured) {
+        const double lat = static_cast<double>(now_ - pkt->genCycle);
+        metrics_.latency.push(lat);
+        metrics_.latencyHist.add(lat);
+    }
+    if (metrics_.inWindow(now_)) {
+        metrics_.flowFlits[static_cast<std::size_t>(pkt->flow)] +=
+            static_cast<std::uint64_t>(pkt->sizeFlits);
+    }
+
+    ack_.send(now_, net_->ackDistance(pkt->src, pkt->dst), pkt,
+              /*isNack=*/false);
+}
+
+void
+NetSim::tickTerminals()
+{
+    for (NodeId n = 0; n < net_->numNodes(); ++n) {
+        InputPort *port = net_->termPort(n);
+        for (int v = 0; v < static_cast<int>(port->vcs.size()); ++v) {
+            VirtualChannel &vc = port->vcs[static_cast<std::size_t>(v)];
+            if (vc.state() != VirtualChannel::State::Reserved)
+                continue;
+            if (now_ >= vc.tailArrival())
+                deliver(vc.packet(), port, v);
+        }
+    }
+}
+
+void
+NetSim::step()
+{
+    processFrameBoundary();
+    processAcks();
+    if (source_ != nullptr)
+        source_->tick(now_, pool_, net_->injectors(), metrics_);
+
+    TickContext ctx;
+    ctx.now = now_;
+    ctx.quota = quota_.get();
+    ctx.ack = &ack_;
+    ctx.metrics = &metrics_;
+    for (NodeId n = 0; n < net_->numNodes(); ++n)
+        net_->router(n)->tickCompletions(now_);
+    for (NodeId n = 0; n < net_->numNodes(); ++n)
+        net_->router(n)->tickArbitrate(ctx);
+
+    tickTerminals();
+    ++now_;
+}
+
+void
+NetSim::run(Cycle cycles)
+{
+    for (Cycle c = 0; c < cycles; ++c)
+        step();
+}
+
+Cycle
+NetSim::runUntilDrained(Cycle maxCycles, Cycle earliestDone)
+{
+    const Cycle limit = now_ + maxCycles;
+    while (now_ < limit) {
+        if (now_ >= earliestDone && drained() && ack_.pending() == 0)
+            return now_;
+        step();
+    }
+    return drained() && ack_.pending() == 0 ? now_ : kNoCycle;
+}
+
+namespace {
+
+void
+checkPortInvariants(const InputPort &port)
+{
+    for (int v = 0; v < static_cast<int>(port.vcs.size()); ++v) {
+        const VirtualChannel &vc = port.vcs[static_cast<std::size_t>(v)];
+        if (vc.state() == VirtualChannel::State::Free)
+            continue;
+        const NetPacket *pkt = vc.packet();
+        TAQOS_ASSERT(pkt != nullptr, "occupied VC without packet");
+        TAQOS_ASSERT(pkt->state == PacketState::InFlight,
+                     "VC %s/%d holds packet in state %d", port.name.c_str(),
+                     v, static_cast<int>(pkt->state));
+        bool found = false;
+        for (int i = 0; i < pkt->numLocs; ++i) {
+            const VcRef &loc = pkt->locs[static_cast<std::size_t>(i)];
+            if (loc.port == &port && loc.vc == v)
+                found = true;
+        }
+        TAQOS_ASSERT(found, "VC %s/%d not in its packet's locations",
+                     port.name.c_str(), v);
+    }
+}
+
+} // namespace
+
+void
+NetSim::checkInvariants() const
+{
+    auto *net = const_cast<Network *>(net_.get());
+    for (NodeId n = 0; n < net->numNodes(); ++n) {
+        for (const auto &in : net->router(n)->inputs())
+            checkPortInvariants(*in);
+        checkPortInvariants(*net->termPort(n));
+    }
+    for (const InputPort *port : net->auxPorts())
+        checkPortInvariants(*port);
+    for (const auto &inj : net->injectors()) {
+        TAQOS_ASSERT(inj.outstanding >= 0 &&
+                         inj.outstanding <= inj.windowLimit,
+                     "window counter out of bounds for flow %d", inj.flow);
+    }
+}
+
+} // namespace taqos

@@ -1,0 +1,91 @@
+/// \file net_sim.h
+/// The topology-agnostic cycle-level simulation engine. Drives any
+/// Network (topo/network.h) from any TrafficSource (traffic/source.h);
+/// ColumnSim and ChipSim are thin specializations.
+///
+/// Per-cycle phase order (dependences are cut by explicit delays, so the
+/// order within a cycle only has to be internally consistent):
+///   1. PVC frame boundary: flush flow tables and quota counters.
+///   2. ACK network delivery: completed packets retire and free their
+///      window slot; NACKed packets re-enter their source queue.
+///   3. Traffic generation into the source queues.
+///   4. Router ticks: transfer completions, then VC allocation /
+///      preemption per output.
+///   5. Terminal ejection: packets whose tail has arrived are delivered.
+#pragma once
+
+#include <memory>
+
+#include "noc/metrics.h"
+#include "noc/packet.h"
+#include "qos/ack_network.h"
+#include "qos/pvc.h"
+#include "sim/sim_config.h"
+#include "topo/network.h"
+#include "traffic/source.h"
+
+namespace taqos {
+
+class NetSim {
+  public:
+    explicit NetSim(std::unique_ptr<Network> net);
+    virtual ~NetSim();
+    NetSim(const NetSim &) = delete;
+    NetSim &operator=(const NetSim &) = delete;
+
+    /// Advance one cycle.
+    void step();
+
+    /// Advance `cycles` cycles.
+    void run(Cycle cycles);
+
+    /// Run until every generated packet has been delivered and retired, or
+    /// `maxCycles` elapse. Returns the cycle at which the network drained
+    /// (kNoCycle on budget exhaustion). Meaningful once generation has a
+    /// horizon (TrafficConfig::genUntil); drain checks begin at
+    /// `earliestDone` (pass the generation horizon, so a quiet early cycle
+    /// is not mistaken for completion).
+    Cycle runUntilDrained(Cycle maxCycles, Cycle earliestDone = 0);
+
+    /// True when no packet is live (queued, in flight, or awaiting ACK).
+    bool drained() const { return pool_.liveCount() == 0; }
+
+    /// Open the measurement window [start, end): latency is recorded for
+    /// packets generated inside it, per-flow throughput for deliveries
+    /// inside it. Call before the window opens.
+    void setMeasureWindow(Cycle start, Cycle end);
+
+    Cycle now() const { return now_; }
+    SimMetrics &metrics() { return metrics_; }
+    const SimMetrics &metrics() const { return metrics_; }
+    Network &net() { return *net_; }
+    const Network &net() const { return *net_; }
+    PacketPool &pool() { return pool_; }
+
+    /// Structural self-check: every occupied VC's packet holds a matching
+    /// location record, occupancy chains are acyclic, and window counters
+    /// are within bounds. Used by tests after every scenario.
+    virtual void checkInvariants() const;
+
+  protected:
+    /// Install the per-cycle traffic source (call before the first step).
+    void setTrafficSource(std::unique_ptr<TrafficSource> source);
+
+    void processFrameBoundary();
+    void processAcks();
+    /// Phase 5: scan the per-node terminal buffers and deliver
+    /// tail-arrived packets. Subclasses extend it for extra ejection-side
+    /// buffers (the chip's row-to-column handoffs).
+    virtual void tickTerminals();
+    void deliver(NetPacket *pkt, InputPort *port, int vcIdx);
+
+    std::unique_ptr<Network> net_;
+    std::unique_ptr<TrafficSource> source_;
+    std::unique_ptr<QuotaTracker> quota_; ///< null unless PVC
+    AckNetwork ack_;
+    PacketPool pool_;
+    SimMetrics metrics_;
+    Cycle now_ = 0;
+};
+
+} // namespace taqos

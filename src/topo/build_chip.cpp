@@ -1,0 +1,207 @@
+/// \file build_chip.cpp
+/// Wiring for the whole-chip fabric: the shared column is built by the
+/// regular ColumnNetwork machinery (bit-identical structure), then each
+/// grid row gets a 1-D NoQos mesh of compute-node routers that forwards
+/// row traffic into a handoff buffer at the column boundary. The handoff
+/// re-enters the column through the per-flow row-injector queues, so the
+/// column's QOS view of its sources is exactly the paper's.
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+#include "topo/chip_network.h"
+
+namespace taqos {
+
+ChipNetwork::ChipNetwork(ChipNetConfig cfg)
+    : ColumnNetwork(cfg.column), chipCfg_(std::move(cfg))
+{
+}
+
+NodeId
+ChipNetwork::nodeIdAt(int x, int y) const
+{
+    const int c = chipCfg_.columnX();
+    if (x == c)
+        return columnNodeId(y);
+    const int rank = x < c ? x : x - 1;
+    const int computePerRow = chipCfg_.chip.nodesX() - 1;
+    return chipCfg_.chip.nodesY() + y * computePerRow + rank;
+}
+
+int
+ChipNetwork::injectorIndexOf(int x) const
+{
+    TAQOS_ASSERT(x != chipCfg_.columnX(),
+                 "column node has no row-injector index");
+    return chipCfg_.injectorIndexOf(x);
+}
+
+int
+ChipNetwork::computeXOf(int k) const
+{
+    TAQOS_ASSERT(k >= 1 && k < cfg_.injectorsPerNode,
+                 "row-injector index %d out of range", k);
+    return chipCfg_.computeXOf(k);
+}
+
+InjectorQueue &
+ChipNetwork::sourceQueue(FlowId f)
+{
+    if (f % cfg_.injectorsPerNode == 0)
+        return injector(f); // terminal flows originate at the column node
+    return rowQueues_[static_cast<std::size_t>(f)];
+}
+
+std::unique_ptr<ChipNetwork>
+ChipNetwork::build(ChipNetConfig cfg)
+{
+    cfg.column.numNodes = cfg.chip.nodesY();
+    cfg.column.canonicalize();
+    TAQOS_ASSERT(cfg.chip.isSharedColumn(cfg.columnX()),
+                 "grid column %d is not a shared column", cfg.columnX());
+    TAQOS_ASSERT(cfg.column.numNodes >= 2, "column needs at least two nodes");
+    TAQOS_ASSERT(cfg.column.injectorsPerNode == cfg.chip.nodesX(),
+                 "the row-injector/compute-node mapping requires "
+                 "injectorsPerNode (%d) == nodesX (%d)",
+                 cfg.column.injectorsPerNode, cfg.chip.nodesX());
+    TAQOS_ASSERT(cfg.rowVcs >= 1, "row links need at least one VC");
+
+    std::unique_ptr<ChipNetwork> net(new ChipNetwork(std::move(cfg)));
+    net->wireColumn();
+    buildChipRows(*net);
+    net->finalizeRouters();
+    return net;
+}
+
+void
+buildChipRows(ChipNetwork &net)
+{
+    const ChipNetConfig &cc = net.chipCfg();
+    const ColumnConfig &col = net.cfg();
+    const int W = cc.chip.nodesX();
+    const int H = cc.chip.nodesY();
+    const int c = cc.columnX();
+    const int vcs = cc.rowVcs;
+    /// Row routers are 2-stage (VA, XT) like the mesh/DPS column routers.
+    const int depth = 2;
+
+    net.rowQueues_.resize(static_cast<std::size_t>(col.numFlows()));
+
+    // Compute-node routers, their aggregate injector queues, and empty
+    // terminal buffers (so per-node indexing stays uniform for the
+    // engine). Creation order must match nodeIdAt.
+    for (int y = 0; y < H; ++y) {
+        for (int x = 0; x < W; ++x) {
+            if (x == c)
+                continue;
+            const NodeId id = net.nodeIdAt(x, y);
+            TAQOS_ASSERT(id == net.numNodes(), "compute node id mismatch");
+            Router *r = net.addRouter(id, QosMode::NoQos);
+            net.addTermPort(id, 1);
+
+            const FlowId f = col.flowOf(y, net.injectorIndexOf(x));
+            InjectorQueue &q =
+                net.rowQueues_[static_cast<std::size_t>(f)];
+            q.flow = f;
+            q.node = id;
+            q.windowLimit = col.pvc.windowLimit;
+
+            auto port = std::make_unique<InputPort>();
+            port->name = "row_inj_" + std::to_string(x) + "_" +
+                         std::to_string(y);
+            port->node = id;
+            port->kind = InputPort::Kind::Injection;
+            port->pipelineDelay = depth;
+            port->group = r->addXbarGroup();
+            port->injectors.push_back(&q);
+            r->addInputPort(std::move(port));
+        }
+    }
+
+    const auto makeRowInput = [&](Router *r, const std::string &name,
+                                  NodeId node) {
+        auto port = std::make_unique<InputPort>();
+        port->name = name;
+        port->node = node;
+        port->kind = InputPort::Kind::Network;
+        port->pipelineDelay = depth;
+        port->creditDelay = 1;
+        port->reservedVc = -1; // rows run without QOS machinery
+        port->group = r->addXbarGroup();
+        port->vcs.resize(static_cast<std::size_t>(vcs));
+        return r->addInputPort(std::move(port));
+    };
+    const auto makeHandoff = [&](const std::string &name, int y) {
+        auto port = std::make_unique<InputPort>();
+        port->name = name;
+        port->node = net.columnNodeId(y);
+        port->kind = InputPort::Kind::Network;
+        port->creditDelay = 1;
+        port->reservedVc = -1;
+        port->vcs.resize(static_cast<std::size_t>(vcs));
+        net.handoff_.push_back(std::move(port));
+        net.auxPorts_.push_back(net.handoff_.back().get());
+        return net.handoff_.back().get();
+    };
+    const auto addRowOutput = [&](int x, int y, const char *dir,
+                                  InputPort *down) {
+        Router *r = net.router(net.nodeIdAt(x, y));
+        auto out = std::make_unique<OutputPort>();
+        out->name = std::string("row_out_") + dir + "_" +
+                    std::to_string(x) + "_" + std::to_string(y);
+        out->node = net.nodeIdAt(x, y);
+        out->tableIdx = Network::nextTableIdx(r);
+        out->drops.push_back(OutputPort::Drop{down, /*wireDelay=*/1,
+                                              /*meshHops=*/1.0});
+        const int idx = static_cast<int>(r->outputs().size());
+        r->addOutputPort(std::move(out));
+        // Everything in a row heads for the row's column-entry node.
+        r->setRoute(net.columnNodeId(y), RouteEntry{idx, 1, 0});
+    };
+
+    for (int y = 0; y < H; ++y) {
+        // West of the column: compute nodes 0..c-1 forward east.
+        if (c > 0) {
+            std::vector<InputPort *> in(static_cast<std::size_t>(c),
+                                        nullptr);
+            for (int x = 1; x < c; ++x) {
+                in[static_cast<std::size_t>(x)] = makeRowInput(
+                    net.router(net.nodeIdAt(x, y)),
+                    "row_in_e_" + std::to_string(x) + "_" +
+                        std::to_string(y),
+                    net.nodeIdAt(x, y));
+            }
+            InputPort *hand =
+                makeHandoff("handoff_w_" + std::to_string(y), y);
+            for (int x = 0; x < c; ++x) {
+                addRowOutput(x, y, "e",
+                             x == c - 1
+                                 ? hand
+                                 : in[static_cast<std::size_t>(x + 1)]);
+            }
+        }
+        // East of the column: compute nodes c+1..W-1 forward west.
+        if (c < W - 1) {
+            std::vector<InputPort *> in(static_cast<std::size_t>(W),
+                                        nullptr);
+            for (int x = c + 1; x < W - 1; ++x) {
+                in[static_cast<std::size_t>(x)] = makeRowInput(
+                    net.router(net.nodeIdAt(x, y)),
+                    "row_in_w_" + std::to_string(x) + "_" +
+                        std::to_string(y),
+                    net.nodeIdAt(x, y));
+            }
+            InputPort *hand =
+                makeHandoff("handoff_e_" + std::to_string(y), y);
+            for (int x = W - 1; x > c; --x) {
+                addRowOutput(x, y, "w",
+                             x == c + 1
+                                 ? hand
+                                 : in[static_cast<std::size_t>(x - 1)]);
+            }
+        }
+    }
+}
+
+} // namespace taqos

@@ -1,0 +1,115 @@
+/// \file chip_network.h
+/// Whole-chip fabric (Sec. 2.1): the QOS-protected shared column — built
+/// exactly as ColumnNetwork builds it, so a chip restricted to its column
+/// is cycle-identical to the standalone column simulator — surrounded by
+/// the chip's unprotected rows.
+///
+/// Node-id space: ids 0..H-1 are the column nodes (id == grid row), so
+/// every column-relative id, route, flow id and flow-register index of
+/// ColumnNetwork carries over unchanged; compute-node ids follow.
+///
+/// Each row is a 1-D NoQos mesh that carries memory/shared-resource
+/// requests from the row's compute nodes into the column node (the XY
+/// dimension-order step of the paper's routing: row first, then the
+/// protected column). At the column boundary the packet is dropped into a
+/// handoff buffer and re-enters through the column node's row-injector
+/// queue — the same per-flow injection interface the paper's OS programs
+/// flow registers for (row injector k of column-node row r is the k-th
+/// compute node of row r, by x). Each compute node concentrates its
+/// `ChipConfig::concentration` terminals onto one aggregate injector, so
+/// per-flow rates are per-node aggregates.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "chip/geometry.h"
+#include "common/assert.h"
+#include "topo/column_network.h"
+
+namespace taqos {
+
+/// Configuration of the whole-chip fabric.
+struct ChipNetConfig {
+    ChipConfig chip;
+
+    /// The shared column's interconnect/QOS configuration. `numNodes` is
+    /// forced to the chip's node-grid height.
+    ColumnConfig column;
+
+    /// Grid x of the simulated shared column; -1 selects the chip's first
+    /// shared column.
+    int sharedColumn = -1;
+
+    /// VC buffers per row-mesh input and per handoff buffer.
+    int rowVcs = 4;
+
+    /// Full-chip mode: traffic originates at the compute nodes and rides
+    /// the row mesh into the column. When false (column-equivalence mode)
+    /// traffic enters the column injector queues directly, making the
+    /// chip cycle-identical to ColumnSim — the refactor's regression
+    /// anchor.
+    bool injectAtSources = true;
+
+    int columnX() const
+    {
+        if (sharedColumn >= 0)
+            return sharedColumn;
+        TAQOS_ASSERT(!chip.sharedColumns.empty(),
+                     "chip has no shared column to simulate");
+        return chip.sharedColumns.front();
+    }
+
+    /// Column row-injector index (1..injectorsPerNode-1) fed by the
+    /// compute node at grid column `x` (os.cpp flow-register mapping:
+    /// injectors 1.. map to the row's compute nodes ordered by x).
+    int injectorIndexOf(int x) const
+    {
+        return x < columnX() ? x + 1 : x;
+    }
+    /// Inverse: grid x of the compute node feeding row-injector `k`.
+    int computeXOf(int k) const { return k <= columnX() ? k - 1 : k; }
+};
+
+class ChipNetwork : public ColumnNetwork {
+  public:
+    static std::unique_ptr<ChipNetwork> build(ChipNetConfig cfg);
+
+    const ChipNetConfig &chipCfg() const { return chipCfg_; }
+    bool injectAtSources() const { return chipCfg_.injectAtSources; }
+
+    /// Grid position -> node id (column nodes are 0..H-1, id == row).
+    NodeId nodeIdAt(int x, int y) const;
+    NodeId columnNodeId(int y) const { return y; }
+
+    /// Config mapping helpers, re-exported with range checks.
+    int injectorIndexOf(int x) const;
+    int computeXOf(int k) const;
+
+    /// Origin queue of flow `f` in full-chip mode: the owning compute
+    /// node's aggregate source queue for row injectors, the column
+    /// entrance queue itself for terminal flows (injector 0).
+    InjectorQueue &sourceQueue(FlowId f);
+
+    /// All compute-node origin queues (invariant checks).
+    std::vector<InjectorQueue> &rowQueues() { return rowQueues_; }
+
+  private:
+    explicit ChipNetwork(ChipNetConfig cfg);
+
+    friend void buildChipRows(ChipNetwork &net);
+
+    ChipNetConfig chipCfg_;
+    /// Compute-node source queues, indexed by flow id (terminal-flow
+    /// entries unused).
+    std::vector<InjectorQueue> rowQueues_;
+    /// Handoff buffers at the column boundary (up to two per row; also
+    /// registered as the network's auxPorts).
+    std::vector<std::unique_ptr<InputPort>> handoff_;
+};
+
+/// Wire the unprotected row meshes around the already-built column
+/// (implemented in build_chip.cpp).
+void buildChipRows(ChipNetwork &net);
+
+} // namespace taqos

@@ -4,18 +4,9 @@
 
 namespace taqos {
 
-ColumnNetwork::ColumnNetwork(ColumnConfig cfg) : cfg_(std::move(cfg)) {}
-
-int
-ColumnNetwork::reservedIdx() const
+ColumnNetwork::ColumnNetwork(ColumnConfig cfg)
+    : Network(cfg.mode, cfg.pvc), cfg_(std::move(cfg))
 {
-    return cfg_.mode == QosMode::Pvc && cfg_.pvc.reservedVcEnabled ? 0 : -1;
-}
-
-bool
-ColumnNetwork::unbounded() const
-{
-    return cfg_.mode == QosMode::PerFlowQueue;
 }
 
 void
@@ -25,23 +16,12 @@ ColumnNetwork::initCommon()
     const int depth = pipelineDepth(cfg_.topology);
 
     injectors_.resize(static_cast<std::size_t>(cfg_.numFlows()));
-    termOutIdx_.assign(static_cast<std::size_t>(n), -1);
 
     for (NodeId i = 0; i < n; ++i) {
-        routers_.push_back(
-            std::make_unique<Router>(i, cfg_.mode, cfg_.pvc));
-        Router *r = routers_.back().get();
+        Router *r = addRouter(i);
 
         // Ejection buffer at the terminal (memory controller).
-        auto term = std::make_unique<InputPort>();
-        term->name = "term_in_" + std::to_string(i);
-        term->node = i;
-        term->kind = InputPort::Kind::Network;
-        term->creditDelay = 1;
-        term->reservedVc = -1;
-        term->unboundedVcs = unbounded();
-        term->vcs.resize(static_cast<std::size_t>(cfg_.ejectionVcs));
-        termPorts_.push_back(std::move(term));
+        addTermPort(i, cfg_.ejectionVcs);
 
         // Injection: terminal port + shared east/west row ports. Up to
         // four row MECS inputs share a crossbar port (Sec. 4).
@@ -80,55 +60,26 @@ ColumnNetwork::initCommon()
     }
 }
 
-InputPort *
-ColumnNetwork::makeNetInput(Router *r, std::string name, NodeId node,
-                            int vcs, int creditDelay, int pipeDelay,
-                            bool passThrough, XbarGroup *group)
-{
-    auto port = std::make_unique<InputPort>();
-    port->name = std::move(name);
-    port->node = node;
-    port->kind = InputPort::Kind::Network;
-    port->pipelineDelay = pipeDelay;
-    port->creditDelay = creditDelay;
-    port->reservedVc = reservedIdx();
-    port->unboundedVcs = unbounded();
-    port->usesCarriedPrio = passThrough;
-    port->group = group;
-    port->vcs.resize(static_cast<std::size_t>(vcs));
-    return r->addInputPort(std::move(port));
-}
-
-int
-ColumnNetwork::nextTableIdx(Router *r)
-{
-    int next = 0;
-    for (const auto &out : r->outputs())
-        next = std::max(next, out->tableIdx + 1);
-    return next;
-}
-
 void
-ColumnNetwork::addTerminalOutput(NodeId n)
+ColumnNetwork::wireColumn()
 {
-    Router *r = router(n);
-    auto out = std::make_unique<OutputPort>();
-    out->name = "term_out_" + std::to_string(n);
-    out->node = n;
-    out->tableIdx = nextTableIdx(r);
-    out->drops.push_back(OutputPort::Drop{termPort(n), /*wireDelay=*/0,
-                                          /*meshHops=*/1.0});
-    const int idx = static_cast<int>(r->outputs().size());
-    r->addOutputPort(std::move(out));
-    termOutIdx_[static_cast<std::size_t>(n)] = idx;
-    r->setRoute(n, RouteEntry{idx, 1, 0});
-}
-
-void
-ColumnNetwork::finalizeRouters()
-{
-    for (auto &r : routers_)
-        r->finalize();
+    initCommon();
+    switch (cfg_.topology) {
+      case TopologyKind::MeshX1:
+      case TopologyKind::MeshX2:
+      case TopologyKind::MeshX4:
+        buildMeshColumn(*this);
+        break;
+      case TopologyKind::Mecs:
+        buildMecsColumn(*this);
+        break;
+      case TopologyKind::Dps:
+        buildDpsColumn(*this);
+        break;
+      case TopologyKind::FlatButterfly:
+        buildFlatButterflyColumn(*this);
+        break;
+    }
 }
 
 std::unique_ptr<ColumnNetwork>
@@ -139,23 +90,7 @@ ColumnNetwork::build(ColumnConfig cfg)
     TAQOS_ASSERT(cfg.injectorsPerNode >= 1, "need at least one injector");
 
     std::unique_ptr<ColumnNetwork> net(new ColumnNetwork(std::move(cfg)));
-    net->initCommon();
-    switch (net->cfg_.topology) {
-      case TopologyKind::MeshX1:
-      case TopologyKind::MeshX2:
-      case TopologyKind::MeshX4:
-        buildMeshColumn(*net);
-        break;
-      case TopologyKind::Mecs:
-        buildMecsColumn(*net);
-        break;
-      case TopologyKind::Dps:
-        buildDpsColumn(*net);
-        break;
-      case TopologyKind::FlatButterfly:
-        buildFlatButterflyColumn(*net);
-        break;
-    }
+    net->wireColumn();
     net->finalizeRouters();
     return net;
 }

@@ -1,7 +1,8 @@
 /// \file column_network.h
 /// The QOS-protected shared-region column: 8 routers, their terminals
 /// (memory controllers / accelerators), and 64 injectors, wired in one of
-/// the five Table-1 topologies.
+/// the five Table-1 topologies. A thin specialization of the
+/// topology-agnostic Network substrate (topo/network.h).
 #pragma once
 
 #include <memory>
@@ -10,11 +11,12 @@
 
 #include "noc/ports.h"
 #include "router/router.h"
+#include "topo/network.h"
 #include "topo/topology.h"
 
 namespace taqos {
 
-class ColumnNetwork {
+class ColumnNetwork : public Network {
   public:
     /// Build a column in the configured topology. The returned network is
     /// ready to simulate (routes set, flow tables sized).
@@ -22,68 +24,20 @@ class ColumnNetwork {
 
     const ColumnConfig &cfg() const { return cfg_; }
 
-    Router *router(NodeId n) { return routers_[static_cast<std::size_t>(n)].get(); }
-    const Router *router(NodeId n) const
-    {
-        return routers_[static_cast<std::size_t>(n)].get();
-    }
-    int numNodes() const { return cfg_.numNodes; }
-    int numFlows() const { return cfg_.numFlows(); }
-
-    /// Ejection buffer (2 VCs) at node `n`'s terminal.
-    InputPort *termPort(NodeId n)
-    {
-        return termPorts_[static_cast<std::size_t>(n)].get();
-    }
-
-    /// Output-port index of node `n`'s terminal (ejection) port.
-    int termOutIdx(NodeId n) const
-    {
-        return termOutIdx_[static_cast<std::size_t>(n)];
-    }
-
-    InjectorQueue &injector(FlowId flow)
-    {
-        return injectors_[static_cast<std::size_t>(flow)];
-    }
-
-    std::vector<InjectorQueue> &injectors() { return injectors_; }
-
     // --- builder interface (used by build_{mesh,mecs,dps}.cpp and tests) --
-
-    /// VC index reserved for rate-compliant packets (-1 when disabled).
-    int reservedIdx() const;
-    /// Per-flow-queueing reference: VCs grow on demand.
-    bool unbounded() const;
 
     /// Create routers, injector queues, terminal ejection buffers, and the
     /// (topology-independent) injection ports of every node.
     void initCommon();
 
-    /// Create a network input port on `r` (column channel or DPS subnet).
-    InputPort *makeNetInput(Router *r, std::string name, NodeId node,
-                            int vcs, int creditDelay, int pipeDelay,
-                            bool passThrough, XbarGroup *group);
-
-    /// Create the terminal output port on node `n` (drop into the ejection
-    /// buffer) and record its index; also sets the self-route.
-    void addTerminalOutput(NodeId n);
-
-    /// Call Router::finalize on every router.
-    void finalizeRouters();
-
-    /// Next unused flow-table id on `r` (builders group replicated
-    /// channels under one id; everything else gets its own).
-    static int nextTableIdx(Router *r);
-
-  private:
+  protected:
     explicit ColumnNetwork(ColumnConfig cfg);
 
+    /// initCommon + the topology-specific wiring (everything except
+    /// finalizeRouters, so subclasses can keep extending the fabric).
+    void wireColumn();
+
     ColumnConfig cfg_;
-    std::vector<std::unique_ptr<Router>> routers_;
-    std::vector<std::unique_ptr<InputPort>> termPorts_;
-    std::vector<InjectorQueue> injectors_;
-    std::vector<int> termOutIdx_;
 };
 
 /// Topology-specific wiring (implemented in build_*.cpp).

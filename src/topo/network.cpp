@@ -1,0 +1,108 @@
+#include "topo/network.h"
+
+#include <cstdlib>
+
+#include "common/assert.h"
+
+namespace taqos {
+
+Network::Network(QosMode mode, PvcParams pvc)
+    : mode_(mode), pvc_(std::move(pvc))
+{
+}
+
+Network::~Network() = default;
+
+int
+Network::ackDistance(NodeId src, NodeId dst) const
+{
+    return std::abs(dst - src);
+}
+
+int
+Network::reservedIdx() const
+{
+    return mode_ == QosMode::Pvc && pvc_.reservedVcEnabled ? 0 : -1;
+}
+
+bool
+Network::unbounded() const
+{
+    return mode_ == QosMode::PerFlowQueue;
+}
+
+Router *
+Network::addRouter(NodeId node, QosMode mode)
+{
+    routers_.push_back(std::make_unique<Router>(node, mode, pvc_));
+    return routers_.back().get();
+}
+
+InputPort *
+Network::addTermPort(NodeId node, int vcs)
+{
+    auto term = std::make_unique<InputPort>();
+    term->name = "term_in_" + std::to_string(node);
+    term->node = node;
+    term->kind = InputPort::Kind::Network;
+    term->creditDelay = 1;
+    term->reservedVc = -1;
+    term->unboundedVcs = unbounded();
+    term->vcs.resize(static_cast<std::size_t>(vcs));
+    termPorts_.push_back(std::move(term));
+    termOutIdx_.push_back(-1);
+    return termPorts_.back().get();
+}
+
+InputPort *
+Network::makeNetInput(Router *r, std::string name, NodeId node, int vcs,
+                      int creditDelay, int pipeDelay, bool passThrough,
+                      XbarGroup *group)
+{
+    auto port = std::make_unique<InputPort>();
+    port->name = std::move(name);
+    port->node = node;
+    port->kind = InputPort::Kind::Network;
+    port->pipelineDelay = pipeDelay;
+    port->creditDelay = creditDelay;
+    port->reservedVc = reservedIdx();
+    port->unboundedVcs = unbounded();
+    port->usesCarriedPrio = passThrough;
+    port->group = group;
+    port->vcs.resize(static_cast<std::size_t>(vcs));
+    return r->addInputPort(std::move(port));
+}
+
+int
+Network::nextTableIdx(Router *r)
+{
+    int next = 0;
+    for (const auto &out : r->outputs())
+        next = std::max(next, out->tableIdx + 1);
+    return next;
+}
+
+void
+Network::addTerminalOutput(NodeId n)
+{
+    Router *r = router(n);
+    auto out = std::make_unique<OutputPort>();
+    out->name = "term_out_" + std::to_string(n);
+    out->node = n;
+    out->tableIdx = nextTableIdx(r);
+    out->drops.push_back(OutputPort::Drop{termPort(n), /*wireDelay=*/0,
+                                          /*meshHops=*/1.0});
+    const int idx = static_cast<int>(r->outputs().size());
+    r->addOutputPort(std::move(out));
+    termOutIdx_[static_cast<std::size_t>(n)] = idx;
+    r->setRoute(n, RouteEntry{idx, 1, 0});
+}
+
+void
+Network::finalizeRouters()
+{
+    for (auto &r : routers_)
+        r->finalize();
+}
+
+} // namespace taqos

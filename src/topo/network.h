@@ -1,0 +1,124 @@
+/// \file network.h
+/// Topology-agnostic network substrate: the routers, injector queues and
+/// terminal (ejection) buffers a simulated fabric is made of, plus the
+/// builder helpers the topology wiring code shares.
+///
+/// A Network owns no cycle semantics — that is the NetSim engine
+/// (sim/net_sim.h). Concrete fabrics subclass it: ColumnNetwork wires the
+/// paper's QOS-protected shared column (topo/column_network.h), and
+/// ChipNetwork wraps that column with the whole chip's unprotected row
+/// meshes (topo/chip_network.h).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "noc/ports.h"
+#include "qos/pvc.h"
+#include "router/router.h"
+
+namespace taqos {
+
+class Network {
+  public:
+    virtual ~Network();
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    /// QOS discipline of this network's protected routers.
+    QosMode mode() const { return mode_; }
+    const PvcParams &pvcParams() const { return pvc_; }
+
+    int numNodes() const { return static_cast<int>(routers_.size()); }
+    int numFlows() const { return static_cast<int>(injectors_.size()); }
+
+    Router *router(NodeId n)
+    {
+        return routers_[static_cast<std::size_t>(n)].get();
+    }
+    const Router *router(NodeId n) const
+    {
+        return routers_[static_cast<std::size_t>(n)].get();
+    }
+
+    /// Ejection buffer at node `n`'s terminal.
+    InputPort *termPort(NodeId n)
+    {
+        return termPorts_[static_cast<std::size_t>(n)].get();
+    }
+
+    /// Output-port index of node `n`'s terminal (ejection) port, or -1
+    /// when the node has no terminal output (e.g. a pure transit router).
+    int termOutIdx(NodeId n) const
+    {
+        return termOutIdx_[static_cast<std::size_t>(n)];
+    }
+
+    /// Canonical per-flow source queue at the network's injection
+    /// boundary: traffic enters here, NACKed packets return here, and the
+    /// retransmission window is accounted here.
+    InjectorQueue &injector(FlowId flow)
+    {
+        return injectors_[static_cast<std::size_t>(flow)];
+    }
+
+    std::vector<InjectorQueue> &injectors() { return injectors_; }
+
+    /// ACK-network hop distance between two node ids (the modelled
+    /// ACK/NACK return delay is proportional to it).
+    virtual int ackDistance(NodeId src, NodeId dst) const;
+
+    /// Buffers not owned by any router beyond the per-node terminals
+    /// (e.g. the chip's row-to-column handoff buffers, registered by the
+    /// topology builder). The engine includes them in frame flushes and
+    /// invariant checks.
+    const std::vector<InputPort *> &auxPorts() const { return auxPorts_; }
+
+    // --- builder interface (used by the topology wiring code and tests) --
+
+    /// VC index reserved for rate-compliant packets (-1 when disabled).
+    int reservedIdx() const;
+    /// Per-flow-queueing reference: VCs grow on demand.
+    bool unbounded() const;
+
+    /// Create a router operating under this network's QOS mode.
+    Router *addRouter(NodeId node) { return addRouter(node, mode_); }
+    /// Create a router with an explicit mode (unprotected row routers).
+    Router *addRouter(NodeId node, QosMode mode);
+
+    /// Create the ejection buffer for node `node`. Routers and terminal
+    /// ports must be created in the same node order so the per-node
+    /// indexing stays aligned.
+    InputPort *addTermPort(NodeId node, int vcs);
+
+    /// Create a network input port on `r` (column channel or DPS subnet).
+    InputPort *makeNetInput(Router *r, std::string name, NodeId node,
+                            int vcs, int creditDelay, int pipeDelay,
+                            bool passThrough, XbarGroup *group);
+
+    /// Create the terminal output port on node `n` (drop into the ejection
+    /// buffer) and record its index; also sets the self-route.
+    void addTerminalOutput(NodeId n);
+
+    /// Call Router::finalize on every router.
+    void finalizeRouters();
+
+    /// Next unused flow-table id on `r` (builders group replicated
+    /// channels under one id; everything else gets its own).
+    static int nextTableIdx(Router *r);
+
+  protected:
+    Network(QosMode mode, PvcParams pvc);
+
+    QosMode mode_;
+    /// Stable storage for the PVC parameters every router references.
+    PvcParams pvc_;
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<InputPort>> termPorts_;
+    std::vector<InjectorQueue> injectors_;
+    std::vector<int> termOutIdx_;
+    std::vector<InputPort *> auxPorts_;
+};
+
+} // namespace taqos

@@ -13,16 +13,18 @@
 #include "noc/ports.h"
 #include "topo/topology.h"
 #include "traffic/pattern.h"
+#include "traffic/source.h"
 
 namespace taqos {
 
-class TrafficGenerator {
+class TrafficGenerator : public TrafficSource {
   public:
     TrafficGenerator(const ColumnConfig &col, const TrafficConfig &traffic);
 
     /// Generate this cycle's packets into the injector queues.
     void tick(Cycle now, PacketPool &pool,
-              std::vector<InjectorQueue> &injectors, SimMetrics &metrics);
+              std::vector<InjectorQueue> &injectors,
+              SimMetrics &metrics) override;
 
     /// Packets whose generation was skipped due to a full source queue.
     std::uint64_t suppressed() const { return suppressed_; }

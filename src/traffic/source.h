@@ -1,0 +1,29 @@
+/// \file source.h
+/// The traffic-source interface the NetSim engine drives once per cycle.
+/// Implementations push newly generated packets into the network's
+/// per-flow injector queues: TrafficGenerator (stochastic),
+/// TraceReplayer (deterministic replay), and ChipTrafficSource
+/// (compute-node injection on the whole-chip fabric).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "noc/metrics.h"
+#include "noc/packet.h"
+#include "noc/ports.h"
+
+namespace taqos {
+
+class TrafficSource {
+  public:
+    virtual ~TrafficSource() = default;
+
+    /// Generate this cycle's packets. `injectors` is the network's
+    /// canonical per-flow queue vector (Network::injectors()).
+    virtual void tick(Cycle now, PacketPool &pool,
+                      std::vector<InjectorQueue> &injectors,
+                      SimMetrics &metrics) = 0;
+};
+
+} // namespace taqos

@@ -55,12 +55,13 @@ class TrafficTrace {
 /// Drives injector queues from a trace; interface-compatible with
 /// TrafficGenerator's tick. Packets beyond `genUntil`-style horizons are
 /// simply absent from the trace.
-class TraceReplayer {
+class TraceReplayer : public TrafficSource {
   public:
     TraceReplayer(const ColumnConfig &col, TrafficTrace trace);
 
     void tick(Cycle now, PacketPool &pool,
-              std::vector<InjectorQueue> &injectors, SimMetrics &metrics);
+              std::vector<InjectorQueue> &injectors,
+              SimMetrics &metrics) override;
 
     bool exhausted() const { return next_ >= trace_.size(); }
 

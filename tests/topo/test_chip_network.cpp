@@ -1,0 +1,116 @@
+/// Structure of the whole-chip fabric: node-id mapping, the
+/// compute-node/row-injector correspondence the OS flow registers rely
+/// on, row wiring into the handoff buffers, and column intactness.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/chip_network.h"
+
+namespace taqos {
+namespace {
+
+ChipNetConfig
+defaultChip(TopologyKind kind = TopologyKind::Dps)
+{
+    ChipNetConfig cc;
+    cc.column.topology = kind;
+    cc.column.mode = QosMode::Pvc;
+    return cc;
+}
+
+TEST(ChipNetwork, GridCoversAllNodesExactlyOnce)
+{
+    auto net = ChipNetwork::build(defaultChip());
+    const ChipConfig &chip = net->chipCfg().chip;
+    EXPECT_EQ(net->numNodes(), chip.numNodes());
+
+    std::set<NodeId> seen;
+    for (int y = 0; y < chip.nodesY(); ++y) {
+        for (int x = 0; x < chip.nodesX(); ++x) {
+            const NodeId id = net->nodeIdAt(x, y);
+            EXPECT_TRUE(seen.insert(id).second) << x << "," << y;
+            EXPECT_GE(id, 0);
+            EXPECT_LT(id, net->numNodes());
+            EXPECT_NE(net->router(id), nullptr);
+        }
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), chip.numNodes());
+}
+
+TEST(ChipNetwork, ColumnNodesKeepColumnIds)
+{
+    auto net = ChipNetwork::build(defaultChip());
+    const int c = net->chipCfg().columnX();
+    for (int y = 0; y < net->chipCfg().chip.nodesY(); ++y)
+        EXPECT_EQ(net->nodeIdAt(c, y), y);
+}
+
+TEST(ChipNetwork, InjectorIndexMatchesOsFlowRegisterMapping)
+{
+    auto net = ChipNetwork::build(defaultChip());
+    const ChipConfig &chip = net->chipCfg().chip;
+    const int c = net->chipCfg().columnX();
+
+    // os.cpp walks x in order, skipping the column, assigning 1,2,3,...
+    int expected = 1;
+    for (int x = 0; x < chip.nodesX(); ++x) {
+        if (x == c)
+            continue;
+        EXPECT_EQ(net->injectorIndexOf(x), expected);
+        EXPECT_EQ(net->computeXOf(expected), x);
+        ++expected;
+    }
+}
+
+TEST(ChipNetwork, EveryRowHandsOffIntoTheColumn)
+{
+    auto net = ChipNetwork::build(defaultChip());
+    const ChipConfig &chip = net->chipCfg().chip;
+    const int c = net->chipCfg().columnX();
+    const int sides = (c > 0 ? 1 : 0) + (c < chip.nodesX() - 1 ? 1 : 0);
+    EXPECT_EQ(static_cast<int>(net->auxPorts().size()),
+              sides * chip.nodesY());
+    for (const InputPort *p : net->auxPorts()) {
+        EXPECT_FALSE(p->vcs.empty());
+        EXPECT_LT(p->node, chip.nodesY()); // anchored at a column node
+    }
+}
+
+TEST(ChipNetwork, ComputeRoutersRouteTowardTheirColumnNode)
+{
+    auto net = ChipNetwork::build(defaultChip());
+    const ChipConfig &chip = net->chipCfg().chip;
+    const int c = net->chipCfg().columnX();
+    for (int y = 0; y < chip.nodesY(); ++y) {
+        for (int x = 0; x < chip.nodesX(); ++x) {
+            if (x == c)
+                continue;
+            NetPacket pkt;
+            pkt.dst = net->columnNodeId(y);
+            const RouteEntry e =
+                net->router(net->nodeIdAt(x, y))->routeFor(pkt);
+            EXPECT_GE(e.outPort, 0);
+        }
+    }
+}
+
+TEST(ChipNetwork, SourceQueuesCoverEveryRowInjectorFlow)
+{
+    auto net = ChipNetwork::build(defaultChip());
+    const ColumnConfig &col = net->cfg();
+    for (FlowId f = 0; f < col.numFlows(); ++f) {
+        InjectorQueue &q = net->sourceQueue(f);
+        if (f % col.injectorsPerNode == 0) {
+            // Terminal flows originate at the column entrance itself.
+            EXPECT_EQ(&q, &net->injector(f));
+        } else {
+            EXPECT_NE(&q, &net->injector(f));
+            EXPECT_EQ(q.flow, f);
+            EXPECT_GE(q.node, net->chipCfg().chip.nodesY());
+        }
+    }
+}
+
+} // namespace
+} // namespace taqos
