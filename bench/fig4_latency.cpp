@@ -3,8 +3,12 @@
 /// points (incomplete delivery) are flagged; the paper's curves end at
 /// saturation.
 ///
+/// Each pattern is one SweepSpec (topologies x rates) executed on the
+/// parallel SweepRunner; json=<prefix> writes the taqos-sweep/v1 record
+/// per pattern (<prefix>_<pattern>.json).
+///
 /// Options: fast=1 (short phases), pattern=uniform|tornado (default both),
-///          maxrate=0.15, step=0.01
+///          maxrate=0.15, step=0.01, threads=N, json=<prefix>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -18,10 +22,18 @@ namespace {
 
 void
 runPattern(TrafficPattern pattern, const std::vector<double> &rates,
-           const RunPhases &phases)
+           const RunPhases &phases, int threads, const std::string &json)
 {
     std::printf("--- %s traffic ---\n", patternName(pattern));
-    const auto series = runFig4Latency(pattern, rates, phases);
+    const SweepResult result =
+        SweepRunner(threads).run(fig4Spec(pattern, rates, phases));
+    const auto series = latencySeriesFromSweep(result);
+    if (!json.empty()) {
+        const std::string path =
+            strFormat("%s_%s.json", json.c_str(), patternName(pattern));
+        if (result.writeJson(path))
+            std::printf("wrote %s\n", path.c_str());
+    }
 
     TextTable t;
     std::vector<std::string> head{"rate"};
@@ -77,11 +89,14 @@ main(int argc, char **argv)
     for (double r = step; r <= maxRate + 1e-9; r += step)
         rates.push_back(r);
 
+    const int threads = static_cast<int>(opts.getInt("threads", 0));
+    const std::string json = opts.get("json", "");
     const std::string which = opts.get("pattern", "both");
     if (which == "both" || which == "uniform")
-        runPattern(TrafficPattern::UniformRandom, rates, phases);
+        runPattern(TrafficPattern::UniformRandom, rates, phases, threads,
+                   json);
     if (which == "both" || which == "tornado")
-        runPattern(TrafficPattern::Tornado, rates, phases);
+        runPattern(TrafficPattern::Tornado, rates, phases, threads, json);
 
     std::printf(
         "Paper expectations: mesh_x1/x2 saturate first (lowest bisection);\n"

@@ -2,7 +2,12 @@
 /// preemption-free per-flow-queueing network on identical traffic, and the
 /// per-source deviation from the max-min-fair expected throughput.
 ///
-/// Options: fast=1, gencycles=<generation horizon>
+/// Both workloads form one adversarial SweepSpec (10 cells) executed on
+/// the parallel SweepRunner; json=<path> writes the combined
+/// taqos-sweep/v1 record.
+///
+/// Options: fast=1, gencycles=<generation horizon>, threads=N,
+///          json=<path>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -24,12 +29,23 @@ main(int argc, char **argv)
     if (opts.getBool("fast", false))
         gen = 30000;
 
+    // One 10-cell sweep (5 topologies x 2 workloads) so the runner's
+    // pool stays fully busy across both workloads.
+    const SweepResult result =
+        SweepRunner(static_cast<int>(opts.getInt("threads", 0)))
+            .run(adversarialSpec(0, gen));
+    const std::string json = opts.get("json", "");
+    if (!json.empty() && result.writeJson(json))
+        std::printf("wrote %s\n", json.c_str());
+    const auto rows = adversarialFromSweep(result);
     for (int w = 1; w <= 2; ++w) {
         std::printf("--- Workload %d ---\n", w);
         TextTable t;
         t.setHeader({"topology", "slowdown", "avg deviation",
                      "deviation range"});
-        for (const auto &row : runAdversarial(w, gen)) {
+        for (const auto &row : rows) {
+            if (row.workload != w)
+                continue;
             t.addRow({topologyName(row.topology),
                       benchutil::pct(row.slowdownPct),
                       benchutil::pct(row.avgDeviationPct),

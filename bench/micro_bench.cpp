@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "core/experiments.h"
 #include "core/maxmin.h"
+#include "exp/json_writer.h"
 #include "sim/chip_sim.h"
 #include "sim/column_sim.h"
 #include "traffic/workloads.h"
@@ -168,28 +169,27 @@ writeMicroJson(const char *path)
         rows.push_back(timeSim("chip_dps", sim, kCycles));
     }
 
-    std::FILE *f = std::fopen(path, "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "cannot write %s\n", path);
-        return;
+    JsonWriter w;
+    w.beginObject();
+    w.field("benchmark", "micro");
+    w.beginObject("unit");
+    w.field("simCyclesPerSec", "Hz");
+    w.field("wallMs", "ms");
+    w.endObject();
+    w.beginArray("results");
+    for (const MicroRow &r : rows) {
+        w.beginObject();
+        w.field("name", r.name);
+        w.field("simCycles", static_cast<std::uint64_t>(r.cycles));
+        w.field("wallMs", r.wallMs);
+        w.field("simCyclesPerSec", r.simCyclesPerSec);
+        w.field("deliveredFlitsPerCycle", r.deliveredFlitsPerCycle);
+        w.endObject();
     }
-    std::fprintf(f, "{\n  \"benchmark\": \"micro\",\n  \"unit\": "
-                    "{\"simCyclesPerSec\": \"Hz\", \"wallMs\": \"ms\"},\n"
-                    "  \"results\": [\n");
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const MicroRow &r = rows[i];
-        std::fprintf(f,
-                     "    {\"name\": \"%s\", \"simCycles\": %llu, "
-                     "\"wallMs\": %.3f, \"simCyclesPerSec\": %.0f, "
-                     "\"deliveredFlitsPerCycle\": %.4f}%s\n",
-                     r.name.c_str(),
-                     static_cast<unsigned long long>(r.cycles), r.wallMs,
-                     r.simCyclesPerSec, r.deliveredFlitsPerCycle,
-                     i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("wrote %s (%zu entries)\n", path, rows.size());
+    w.endArray();
+    w.endObject();
+    if (writeTextFile(path, w.str() + "\n"))
+        std::printf("wrote %s (%zu entries)\n", path, rows.size());
 }
 
 } // namespace

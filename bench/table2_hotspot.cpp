@@ -2,7 +2,12 @@
 /// 64 injectors stream to the node-0 terminal; PVC must hand every flow an
 /// equal share of the single ejection link.
 ///
-/// Options: fast=1 (shorter run), cycles=<measure window>
+/// The figure is one SweepSpec (hotspot scenario over the five
+/// topologies) on the parallel SweepRunner; json=<path> writes the
+/// taqos-sweep/v1 record.
+///
+/// Options: fast=1 (shorter run), cycles=<measure window>, threads=N,
+///          json=<path>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -24,10 +29,17 @@ main(int argc, char **argv)
     if (opts.getBool("fast", false))
         measure = 60000;
 
+    const SweepResult result =
+        SweepRunner(static_cast<int>(opts.getInt("threads", 0)))
+            .run(table2Spec(measure));
+    const std::string json = opts.get("json", "");
+    if (!json.empty() && result.writeJson(json))
+        std::printf("wrote %s\n", json.c_str());
+
     TextTable t;
     t.setHeader({"topology", "mean", "min (% of mean)", "max (% of mean)",
                  "std dev (% of mean)", "preemptions"});
-    for (const auto &row : runTable2Fairness(measure)) {
+    for (const auto &row : fairnessFromSweep(result)) {
         t.addRow({topologyName(row.topology),
                   benchutil::num(row.meanFlits, 1),
                   strFormat("%.0f (%.1f%%)", row.minFlits, row.minPct()),

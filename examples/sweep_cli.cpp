@@ -1,0 +1,224 @@
+/// Run any experiment sweep from the command line: declare the grid with
+/// key=value options, execute it on the parallel SweepRunner, print the
+/// per-grid-point aggregates, and optionally write the full JSON record.
+///
+/// Options (all optional):
+///   scenario=latency_load|hotspot|adversarial|chip   (default latency_load)
+///   topos=all | comma list (mesh_x1,mesh_x2,mesh_x4,mecs,dps,fbfly)
+///   patterns=uniform,tornado,hotspot                 (latency_load only)
+///   modes=pvc,pfq,noqos
+///   rates=0.02,0.05 | lo:hi:step                     (flits/cycle/injector)
+///   workloads=1,2                                    (adversarial only)
+///   placements=0,1,2                                 (chip only)
+///   reps=N seed=S mix=0|1
+///   warmup=C measure=C drain=C gencycles=C
+///   threads=N            (0 = hardware concurrency)
+///   out=path.json        (write the taqos-sweep/v1 record)
+///   name=label
+///
+/// Examples:
+///   sweep_cli rates=0.01:0.12:0.01 patterns=uniform,tornado out=fig4.json
+///   sweep_cli scenario=hotspot reps=5 mix=1 out=table2.json
+///   sweep_cli scenario=chip topos=dps placements=0,1,2 out=chip.json
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "exp/sweep.h"
+
+using namespace taqos;
+
+namespace {
+
+[[noreturn]] void
+badRates(const std::string &s)
+{
+    std::fprintf(stderr,
+                 "bad rates '%s': want a,b,c or lo:hi:step (step > 0)\n",
+                 s.c_str());
+    std::exit(1);
+}
+
+double
+parseRate(const std::string &token, const std::string &whole)
+{
+    char *end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0')
+        badRates(whole);
+    return v;
+}
+
+std::vector<double>
+parseRates(const std::string &s)
+{
+    std::vector<double> rates;
+    if (s.find(':') != std::string::npos) {
+        const auto parts = strSplit(s, ':');
+        if (parts.size() != 3)
+            badRates(s);
+        const double lo = parseRate(strTrim(parts[0]), s);
+        const double hi = parseRate(strTrim(parts[1]), s);
+        const double step = parseRate(strTrim(parts[2]), s);
+        if (step <= 0.0)
+            badRates(s);
+        for (double r = lo; r <= hi + 1e-9; r += step)
+            rates.push_back(r);
+    } else {
+        for (const auto &part : strSplit(s, ',')) {
+            const std::string token = strTrim(part);
+            if (!token.empty())
+                rates.push_back(parseRate(token, s));
+        }
+    }
+    if (rates.empty())
+        badRates(s);
+    return rates;
+}
+
+template <typename T, typename Parse>
+std::vector<T>
+parseList(const std::string &s, Parse parse, const char *what)
+{
+    std::vector<T> out;
+    for (const auto &part : strSplit(s, ',')) {
+        const std::string token = strTrim(part);
+        if (token.empty())
+            continue;
+        const auto v = parse(token);
+        if (!v.has_value()) {
+            std::fprintf(stderr, "unknown %s '%s'\n", what, token.c_str());
+            std::exit(1);
+        }
+        out.push_back(*v);
+    }
+    return out;
+}
+
+std::vector<int>
+parseInts(const std::string &s)
+{
+    std::vector<int> out;
+    for (const auto &part : strSplit(s, ',')) {
+        if (!strTrim(part).empty())
+            out.push_back(std::atoi(part.c_str()));
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const OptionMap opts(argc, argv);
+
+    SweepSpec spec;
+    spec.name = opts.get("name", "sweep_cli");
+
+    const auto scenario = parseScenario(opts.get("scenario", "latency_load"));
+    if (!scenario.has_value()) {
+        std::fprintf(stderr, "unknown scenario\n");
+        return 1;
+    }
+    spec.scenario = *scenario;
+
+    const std::string topos = opts.get("topos", "all");
+    if (topos != "all") {
+        spec.topologies = parseList<TopologyKind>(
+            topos, [](const std::string &t) { return parseTopology(t); },
+            "topology");
+    }
+    if (opts.has("patterns")) {
+        spec.patterns = parseList<TrafficPattern>(
+            opts.get("patterns", ""),
+            [](const std::string &t) { return parsePattern(t); }, "pattern");
+    }
+    if (opts.has("modes")) {
+        spec.modes = parseList<QosMode>(
+            opts.get("modes", ""),
+            [](const std::string &t) { return parseQosMode(t); }, "mode");
+    }
+    if (opts.has("rates"))
+        spec.rates = parseRates(opts.get("rates", ""));
+    if (opts.has("workloads"))
+        spec.workloads = parseInts(opts.get("workloads", ""));
+    if (opts.has("placements"))
+        spec.placements = parseInts(opts.get("placements", ""));
+
+    spec.replicates = static_cast<int>(opts.getInt("reps", 1));
+    spec.baseSeed = static_cast<std::uint64_t>(
+        opts.getInt("seed", static_cast<std::int64_t>(spec.baseSeed)));
+    spec.mixSeeds = opts.getBool("mix", true);
+    spec.phases.warmup =
+        static_cast<Cycle>(opts.getInt("warmup", 20000));
+    spec.phases.measure =
+        static_cast<Cycle>(opts.getInt("measure", 50000));
+    spec.phases.drain = static_cast<Cycle>(opts.getInt("drain", 30000));
+    spec.genCycles =
+        static_cast<Cycle>(opts.getInt("gencycles", 100000));
+
+    const int threads = static_cast<int>(opts.getInt("threads", 0));
+    const SweepRunner runner(threads);
+    const SweepResult result = runner.run(spec);
+
+    std::printf("sweep '%s' (%s): %zu cells on %d threads, %.1f ms\n\n",
+                result.spec.name.c_str(),
+                scenarioName(result.spec.scenario), result.cells.size(),
+                runner.threads(), result.wallMs);
+
+    if (!result.aggregates.empty()) {
+        // Metric columns are the union across grid points: cells of
+        // different VM placements legitimately report different sets.
+        std::vector<std::string> metricNames;
+        for (const auto &agg : result.aggregates) {
+            for (const auto &[name, rs] : agg.stats) {
+                (void)rs;
+                if (std::find(metricNames.begin(), metricNames.end(),
+                              name) == metricNames.end())
+                    metricNames.push_back(name);
+            }
+        }
+
+        TextTable t;
+        std::vector<std::string> head{"topology", "pattern", "mode",
+                                      "rate", "wl", "pl"};
+        head.insert(head.end(), metricNames.begin(), metricNames.end());
+        t.setHeader(head);
+        for (const auto &agg : result.aggregates) {
+            std::vector<std::string> row{
+                topologyName(agg.key.topology),
+                patternName(agg.key.pattern),
+                qosModeName(agg.key.mode),
+                strFormat("%.3f", agg.key.rate),
+                strFormat("%d", agg.key.workload),
+                strFormat("%d", agg.key.placement)};
+            for (const auto &name : metricNames) {
+                const auto it = std::find_if(
+                    agg.stats.begin(), agg.stats.end(),
+                    [&name](const auto &kv) { return kv.first == name; });
+                if (it == agg.stats.end()) {
+                    row.push_back("-");
+                } else {
+                    const RunningStat &rs = it->second;
+                    row.push_back(rs.count() > 1
+                                      ? strFormat("%.3g±%.2g", rs.mean(),
+                                                  rs.stddev())
+                                      : strFormat("%.4g", rs.mean()));
+                }
+            }
+            t.addRow(row);
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+
+    const std::string out = opts.get("out", "");
+    if (!out.empty()) {
+        if (!result.writeJson(out))
+            return 1;
+        std::printf("wrote %s\n", out.c_str());
+    }
+    return 0;
+}

@@ -1,12 +1,17 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
+#include <string>
 
 namespace taqos {
 namespace {
 
-LogLevel gLevel = LogLevel::Warn;
+/// Relaxed atomicity is enough: the level is a configuration knob, not a
+/// synchronization point, but concurrent sweep workers must be able to
+/// read it while a test or example sets it (data-race-free under TSan).
+std::atomic<LogLevel> gLevel{LogLevel::Warn};
 
 const char *
 levelName(LogLevel level)
@@ -27,26 +32,40 @@ levelName(LogLevel level)
 void
 setLogLevel(LogLevel level)
 {
-    gLevel = level;
+    gLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return gLevel;
+    return gLevel.load(std::memory_order_relaxed);
 }
 
 void
 logAt(LogLevel level, const char *fmt, ...)
 {
-    if (level > gLevel || level == LogLevel::None)
+    if (level > logLevel() || level == LogLevel::None)
         return;
-    std::fprintf(stderr, "[taqos:%s] ", levelName(level));
+    // Format the whole line first and emit it with one stdio call:
+    // stdio locks the stream per call, so concurrent sweep workers never
+    // interleave fragments of each other's messages. Messages longer
+    // than the stack buffer take a second, sized pass — never truncated.
+    char buf[512];
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    va_list copy;
+    va_copy(copy, args);
+    const int need = std::vsnprintf(buf, sizeof buf, fmt, args);
     va_end(args);
-    std::fprintf(stderr, "\n");
+    if (need >= 0 && static_cast<std::size_t>(need) < sizeof buf) {
+        std::fprintf(stderr, "[taqos:%s] %s\n", levelName(level), buf);
+    } else if (need > 0) {
+        std::string msg(static_cast<std::size_t>(need), '\0');
+        std::vsnprintf(msg.data(), msg.size() + 1, fmt, copy);
+        std::fprintf(stderr, "[taqos:%s] %s\n", levelName(level),
+                     msg.c_str());
+    }
+    va_end(copy);
 }
 
 } // namespace taqos

@@ -1,6 +1,10 @@
 /// \file log.h
 /// Minimal leveled logging. The simulator is silent by default; examples
 /// and debugging sessions raise the level.
+///
+/// Thread safety: the level is atomic and each message is emitted with a
+/// single stdio call, so concurrent simulations (the exp/ sweep workers)
+/// may log freely without races or interleaved lines.
 #pragma once
 
 #include <string>

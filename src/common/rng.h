@@ -4,6 +4,10 @@
 /// Every stochastic component of the simulator (traffic generators, packet
 /// sizing, arbitration tie-breaks) draws from an explicitly seeded Rng so
 /// that experiments are exactly reproducible run-to-run.
+///
+/// Thread safety: there is deliberately no global generator. Each Rng
+/// instance is owned by exactly one simulation, so concurrent sims (the
+/// exp/ sweep workers) never share a stream — keep it that way.
 #pragma once
 
 #include <cstdint>

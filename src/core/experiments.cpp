@@ -1,18 +1,30 @@
 #include "core/experiments.h"
 
-#include <algorithm>
-
-#include "chip/os.h"
 #include "common/assert.h"
-#include "common/stats.h"
-#include "core/maxmin.h"
+#include "common/strings.h"
 #include "power/tech.h"
-#include "sim/chip_sim.h"
-#include "sim/column_sim.h"
 #include "topo/geometry.h"
-#include "traffic/workloads.h"
 
 namespace taqos {
+namespace {
+
+/// Shared scaffolding of the figure specs: the paper's five topologies,
+/// PVC, replicate-free, and — crucially — mixSeeds off, so every cell
+/// runs with the historical default traffic seed and the ported runners
+/// stay bit-identical to the pre-engine serial loops.
+SweepSpec
+figureSpec(Scenario scenario, const std::string &name)
+{
+    SweepSpec spec;
+    spec.scenario = scenario;
+    spec.name = name;
+    spec.replicates = 1;
+    spec.mixSeeds = false;
+    spec.baseSeed = TrafficConfig{}.seed;
+    return spec;
+}
+
+} // namespace
 
 ColumnConfig
 paperColumn(TopologyKind kind, QosMode mode)
@@ -36,58 +48,111 @@ runFig3Area()
     return rows;
 }
 
+// ---------------------------------------------------------------- Fig. 4
+
+SweepSpec
+fig4Spec(TrafficPattern pattern, const std::vector<double> &rates,
+         const RunPhases &phases)
+{
+    SweepSpec spec = figureSpec(Scenario::LatencyLoad, "fig4_latency");
+    spec.patterns = {pattern};
+    spec.rates = rates;
+    spec.phases = phases;
+    return spec;
+}
+
+std::vector<LatencySeries>
+latencySeriesFromSweep(const SweepResult &result)
+{
+    // One curve per topology over the rate axis: a faithful mapping
+    // needs every other axis collapsed. Multi-pattern or replicated
+    // grids must be consumed through SweepResult directly.
+    TAQOS_ASSERT(result.spec.patterns.size() == 1 &&
+                     result.spec.modes.size() == 1 &&
+                     result.spec.replicates == 1,
+                 "latencySeriesFromSweep needs a single-pattern, "
+                 "single-mode, replicate-free sweep");
+    std::vector<LatencySeries> series;
+    for (const auto &cell : result.cells) {
+        if (series.empty() ||
+            series.back().topology != cell.spec.topology) {
+            LatencySeries s;
+            s.topology = cell.spec.topology;
+            series.push_back(std::move(s));
+        }
+        LatencyPoint p;
+        p.injectionRate = cell.spec.rate;
+        p.avgLatency = cell.get("avg_latency");
+        p.p95Latency = cell.get("p95_latency");
+        p.throughput = cell.get("throughput");
+        p.saturated = cell.get("saturated") > 0.5;
+        series.back().points.push_back(p);
+    }
+    return series;
+}
+
 std::vector<LatencySeries>
 runFig4Latency(TrafficPattern pattern, const std::vector<double> &rates,
                const RunPhases &phases)
 {
-    std::vector<LatencySeries> series;
-    for (auto kind : kAllTopologies) {
-        LatencySeries s;
-        s.topology = kind;
-        for (double rate : rates) {
-            const ColumnConfig col = paperColumn(kind);
-            TrafficConfig traffic;
-            traffic.pattern = pattern;
-            traffic.injectionRate = rate;
-            ColumnSim sim(col, traffic);
-            sim.setMeasureWindow(phases.warmup, phases.measureEnd());
-            sim.run(phases.total());
+    return latencySeriesFromSweep(
+        SweepRunner().run(fig4Spec(pattern, rates, phases)));
+}
 
-            const SimMetrics &m = sim.metrics();
-            LatencyPoint p;
-            p.injectionRate = rate;
-            p.avgLatency = m.latency.mean();
-            p.p95Latency = m.latencyHist.percentile(0.95);
-            p.throughput = m.throughputFlitsPerCycle(phases.measure) /
-                           col.numFlows();
-            const double delivered =
-                static_cast<double>(m.latency.count());
-            const double offered =
-                static_cast<double>(m.measuredGenerated);
-            p.saturated = offered > 0.0 && delivered < 0.95 * offered;
-            s.points.push_back(p);
-        }
-        series.push_back(std::move(s));
-    }
-    return series;
+// ------------------------------------------------- Sec. 5.2 (text): E4
+
+SweepSpec
+saturationSpec(TrafficPattern pattern, double rate, const RunPhases &phases)
+{
+    SweepSpec spec = figureSpec(Scenario::LatencyLoad, "sat_preemption");
+    spec.patterns = {pattern};
+    spec.rates = {rate};
+    spec.phases = phases;
+    return spec;
 }
 
 std::vector<SaturationPreemption>
 runSaturationPreemption(TrafficPattern pattern, double rate,
                         const RunPhases &phases)
 {
+    const SweepResult result =
+        SweepRunner().run(saturationSpec(pattern, rate, phases));
     std::vector<SaturationPreemption> rows;
-    for (auto kind : kAllTopologies) {
-        const ColumnConfig col = paperColumn(kind);
-        TrafficConfig traffic;
-        traffic.pattern = pattern;
-        traffic.injectionRate = rate;
-        ColumnSim sim(col, traffic);
-        sim.setMeasureWindow(phases.warmup, phases.measureEnd());
-        sim.run(phases.total());
-        const SimMetrics &m = sim.metrics();
+    for (const auto &cell : result.cells) {
         rows.push_back(SaturationPreemption{
-            kind, m.preemptionPacketRate(), m.preemptionHopRate()});
+            cell.spec.topology, cell.get("preemption_packet_rate"),
+            cell.get("preemption_hop_rate")});
+    }
+    return rows;
+}
+
+// --------------------------------------------------------------- Table 2
+
+SweepSpec
+table2Spec(Cycle measureCycles, Cycle warmup)
+{
+    SweepSpec spec = figureSpec(Scenario::Hotspot, "table2_hotspot");
+    // Every injector (terminal and row inputs, node 0 included) streams
+    // to the node-0 terminal well above the 1/64 fair share.
+    spec.rates = {0.05};
+    spec.phases = RunPhases{warmup, measureCycles, 0};
+    return spec;
+}
+
+std::vector<FairnessRow>
+fairnessFromSweep(const SweepResult &result)
+{
+    std::vector<FairnessRow> rows;
+    for (const auto &cell : result.cells) {
+        FairnessRow row;
+        row.topology = cell.spec.topology;
+        row.meanFlits = cell.get("mean_flits");
+        row.minFlits = cell.get("min_flits");
+        row.maxFlits = cell.get("max_flits");
+        row.stddevFlits = cell.get("stddev_flits");
+        row.preemptions =
+            static_cast<std::uint64_t>(cell.get("preemptions"));
+        rows.push_back(row);
     }
     return rows;
 }
@@ -95,26 +160,40 @@ runSaturationPreemption(TrafficPattern pattern, double rate,
 std::vector<FairnessRow>
 runTable2Fairness(Cycle measureCycles, Cycle warmup)
 {
-    std::vector<FairnessRow> rows;
-    for (auto kind : kAllTopologies) {
-        const ColumnConfig col = paperColumn(kind);
-        // Every injector (terminal and row inputs, node 0 included)
-        // streams to the node-0 terminal well above the 1/64 fair share.
-        const TrafficConfig traffic = makeHotspotAll(col, 0.05);
-        ColumnSim sim(col, traffic);
-        sim.setMeasureWindow(warmup, warmup + measureCycles);
-        sim.run(warmup + measureCycles);
+    return fairnessFromSweep(
+        SweepRunner().run(table2Spec(measureCycles, warmup)));
+}
 
-        RunningStat rs;
-        for (auto flits : sim.metrics().flowFlits)
-            rs.push(static_cast<double>(flits));
-        FairnessRow row;
-        row.topology = kind;
-        row.meanFlits = rs.mean();
-        row.minFlits = rs.min();
-        row.maxFlits = rs.max();
-        row.stddevFlits = rs.stddev();
-        row.preemptions = sim.metrics().preemptionEvents;
+// --------------------------------------------------------- Figs. 5 and 6
+
+SweepSpec
+adversarialSpec(int workload, Cycle genCycles)
+{
+    TAQOS_ASSERT(workload >= 0 && workload <= 2,
+                 "workload must be 1 or 2 (0 = both)");
+    SweepSpec spec = figureSpec(Scenario::Adversarial, "adversarial");
+    spec.workloads = workload == 0 ? std::vector<int>{1, 2}
+                                   : std::vector<int>{workload};
+    spec.genCycles = genCycles;
+    return spec;
+}
+
+std::vector<AdversarialResult>
+adversarialFromSweep(const SweepResult &result)
+{
+    std::vector<AdversarialResult> rows;
+    for (const auto &cell : result.cells) {
+        AdversarialResult row;
+        row.topology = cell.spec.topology;
+        row.workload = cell.spec.workload;
+        row.preemptedPacketsPct = cell.get("preempted_packets_pct");
+        row.replayedHopsPct = cell.get("replayed_hops_pct");
+        row.slowdownPct = cell.get("slowdown_pct");
+        row.avgDeviationPct = cell.get("avg_deviation_pct");
+        row.minDeviationPct = cell.get("min_deviation_pct");
+        row.maxDeviationPct = cell.get("max_deviation_pct");
+        row.completionCycle =
+            static_cast<Cycle>(cell.get("completion_cycle"));
         rows.push_back(row);
     }
     return rows;
@@ -123,77 +202,11 @@ runTable2Fairness(Cycle measureCycles, Cycle warmup)
 std::vector<AdversarialResult>
 runAdversarial(int workload, Cycle genCycles)
 {
-    TAQOS_ASSERT(workload == 1 || workload == 2, "workload must be 1 or 2");
-    std::vector<AdversarialResult> rows;
-    const Cycle budget = genCycles * 10;
-
-    for (auto kind : kAllTopologies) {
-        const ColumnConfig colPvc = paperColumn(kind, QosMode::Pvc);
-        const TrafficConfig traffic = workload == 1
-            ? makeWorkload1(colPvc)
-            : makeWorkload2(colPvc);
-        TrafficConfig finite = traffic;
-        finite.genUntil = genCycles;
-
-        ColumnSim pvc(colPvc, finite);
-        pvc.setMeasureWindow(0, genCycles);
-        const Cycle donePvc = pvc.runUntilDrained(budget, genCycles);
-        TAQOS_ASSERT(donePvc != kNoCycle, "%s: PVC run did not drain",
-                     topologyName(kind));
-
-        // Preemption-free reference: identical traffic (same seed), same
-        // topology, per-flow queueing.
-        const ColumnConfig colRef = paperColumn(kind, QosMode::PerFlowQueue);
-        ColumnSim ref(colRef, finite);
-        ref.setMeasureWindow(0, genCycles);
-        const Cycle doneRef = ref.runUntilDrained(budget, genCycles);
-        TAQOS_ASSERT(doneRef != kNoCycle, "%s: reference run did not drain",
-                     topologyName(kind));
-
-        AdversarialResult row;
-        row.topology = kind;
-        const SimMetrics &m = pvc.metrics();
-
-        // Expected throughput under max-min fairness: demands are the
-        // injection rates; the capacity being shared is what the network
-        // actually delivered in the generation window (replay overhead
-        // shows up as slowdown, not as an unfairness artefact).
-        std::vector<double> demands(
-            static_cast<std::size_t>(colPvc.numFlows()), 0.0);
-        for (FlowId f = 0; f < colPvc.numFlows(); ++f) {
-            if (traffic.flowActive(f) && !traffic.activeFlows.empty())
-                demands[static_cast<std::size_t>(f)] = traffic.rateOf(f);
-        }
-        const double capacity = std::min(
-            1.0, static_cast<double>(m.windowFlits()) /
-                     static_cast<double>(genCycles));
-        const std::vector<double> alloc =
-            maxMinAllocation(demands, capacity);
-        row.preemptedPacketsPct = 100.0 * m.preemptionPacketRate();
-        row.replayedHopsPct = 100.0 * m.preemptionHopRate();
-        row.completionCycle = donePvc;
-        row.slowdownPct = 100.0 * (static_cast<double>(donePvc) /
-                                       static_cast<double>(doneRef) -
-                                   1.0);
-
-        RunningStat dev;
-        for (FlowId f = 0; f < colPvc.numFlows(); ++f) {
-            const double expect =
-                alloc[static_cast<std::size_t>(f)] *
-                static_cast<double>(genCycles);
-            if (expect <= 0.0)
-                continue;
-            const double got = static_cast<double>(
-                m.flowFlits[static_cast<std::size_t>(f)]);
-            dev.push(100.0 * (got - expect) / expect);
-        }
-        row.avgDeviationPct = dev.mean();
-        row.minDeviationPct = dev.min();
-        row.maxDeviationPct = dev.max();
-        rows.push_back(row);
-    }
-    return rows;
+    return adversarialFromSweep(
+        SweepRunner().run(adversarialSpec(workload, genCycles)));
 }
+
+// ---------------------------------------------------------------- Fig. 7
 
 std::vector<EnergyRow>
 runFig7Energy()
@@ -252,83 +265,59 @@ runFig7Energy()
     return rows;
 }
 
+// ------------------------------------- consolidated server (Secs. 1, 2)
+
+SweepSpec
+chipConsolidationSpec(TopologyKind kind, double ratePerNode,
+                      const RunPhases &phases)
+{
+    SweepSpec spec =
+        figureSpec(Scenario::ChipConsolidation, "chip_consolidation");
+    spec.topologies = {kind};
+    spec.rates = {ratePerNode};
+    spec.placements = {0}; // the paper's three-VM consolidated-server mix
+    spec.phases = phases;
+    return spec;
+}
+
+ChipConsolidationResult
+chipConsolidationFromCell(const CellResult &cell)
+{
+    TAQOS_ASSERT(cell.spec.scenario == Scenario::ChipConsolidation,
+                 "cell is not a consolidation run");
+    ChipConsolidationResult res;
+    const double drain = cell.get("drain_cycle");
+    res.drainCycle = drain < 0.0 ? kNoCycle : static_cast<Cycle>(drain);
+    res.deliveredPackets =
+        static_cast<std::uint64_t>(cell.get("delivered_packets"));
+    res.handoffs = static_cast<std::uint64_t>(cell.get("handoffs"));
+    res.preemptions = static_cast<std::uint64_t>(cell.get("preemptions"));
+    res.avgLatency = cell.get("avg_latency");
+
+    const auto &placement =
+        vmPlacements()[static_cast<std::size_t>(cell.spec.placement)];
+    for (const auto &s : placement.servers) {
+        const std::string p = strFormat("vm%d_", s.id);
+        ChipVmShare share;
+        share.vmId = s.id;
+        share.weight = s.weight;
+        share.domainNodes =
+            static_cast<std::size_t>(cell.get(p + "nodes"));
+        share.flits = static_cast<std::uint64_t>(cell.get(p + "flits"));
+        share.flitsPerNode = cell.get(p + "flits_per_node");
+        res.vms.push_back(share);
+    }
+    return res;
+}
+
 ChipConsolidationResult
 runChipConsolidation(TopologyKind kind, double ratePerNode,
                      const RunPhases &phases)
 {
-    // The paper's Sec. 1 motivation: three consolidated servers with
-    // different service classes on one CMP.
-    struct Server {
-        int id;
-        int threads;
-        std::uint32_t weight;
-    };
-    const Server servers[] = {{1, 64, 4}, {2, 48, 2}, {3, 32, 1}};
-
-    ChipNetConfig cfg;
-    cfg.column.topology = kind;
-    cfg.column.mode = QosMode::Pvc;
-    cfg.column.numNodes = cfg.chip.nodesY();
-
-    OsScheduler os(cfg.chip);
-    for (const auto &s : servers) {
-        const auto vm = os.createVm(s.id, s.threads, s.weight);
-        TAQOS_ASSERT(vm.has_value(), "VM %d admission failed", s.id);
-    }
-    TAQOS_ASSERT(os.coScheduleInvariant(), "co-scheduling violated");
-    cfg.column.pvc = os.columnFlowRegisters(cfg.columnX(), cfg.column);
-
-    // Every VM-owned compute node streams memory requests at
-    // `ratePerNode` to uniformly spread memory-controller rows; terminal
-    // flows (the column's own resources) stay quiet.
-    TrafficConfig traffic;
-    traffic.pattern = TrafficPattern::UniformRandom;
-    traffic.injectionRate = ratePerNode;
-    traffic.genUntil = phases.measureEnd();
-    traffic.activeFlows.assign(
-        static_cast<std::size_t>(cfg.column.numFlows()), false);
-    for (int row = 0; row < cfg.chip.nodesY(); ++row) {
-        for (int k = 1; k < cfg.column.injectorsPerNode; ++k) {
-            if (os.ownerOf(NodeCoord{cfg.computeXOf(k), row}) >= 0) {
-                traffic.activeFlows[static_cast<std::size_t>(
-                    cfg.column.flowOf(row, k))] = true;
-            }
-        }
-    }
-
-    ChipSim sim(cfg, traffic);
-    sim.setMeasureWindow(phases.warmup, phases.measureEnd());
-
-    ChipConsolidationResult res;
-    res.drainCycle =
-        sim.runUntilDrained(phases.total() * 4, traffic.genUntil);
-    sim.checkInvariants();
-
-    const SimMetrics &m = sim.metrics();
-    res.deliveredPackets = m.deliveredPackets;
-    res.handoffs = sim.handoffs();
-    res.preemptions = m.preemptionEvents;
-    res.avgLatency = m.latency.mean();
-
-    for (const auto &s : servers) {
-        const VmInfo *vm = os.vm(s.id);
-        ChipVmShare share;
-        share.vmId = s.id;
-        share.weight = s.weight;
-        share.domainNodes = vm->domain.size();
-        for (int row = 0; row < cfg.chip.nodesY(); ++row) {
-            for (int k = 1; k < cfg.column.injectorsPerNode; ++k) {
-                if (os.ownerOf(NodeCoord{cfg.computeXOf(k), row}) != s.id)
-                    continue;
-                share.flits += m.flowFlits[static_cast<std::size_t>(
-                    cfg.column.flowOf(row, k))];
-            }
-        }
-        share.flitsPerNode = static_cast<double>(share.flits) /
-                             static_cast<double>(share.domainNodes);
-        res.vms.push_back(share);
-    }
-    return res;
+    const SweepResult result =
+        SweepRunner().run(chipConsolidationSpec(kind, ratePerNode, phases));
+    TAQOS_ASSERT(result.cells.size() == 1, "consolidation spec is one cell");
+    return chipConsolidationFromCell(result.cells[0]);
 }
 
 } // namespace taqos

@@ -2,12 +2,20 @@
 /// Runners for every table and figure in the paper's evaluation (Sec. 5).
 /// Each returns a structured result; the bench binaries format them into
 /// the same rows/series the paper reports.
+///
+/// Every simulation-backed runner is a thin wrapper around the parallel
+/// sweep engine (exp/sweep.h): a `*Spec()` builder names the grid, a
+/// `*FromSweep()` mapper turns the engine's generic cell records back
+/// into the figure's row type, and `run*()` composes the two through a
+/// SweepRunner. Drivers that want the JSON result pipeline (or a custom
+/// thread count) call the spec builder and the runner themselves.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "common/types.h"
+#include "exp/sweep.h"
 #include "power/router_power.h"
 #include "sim/sim_config.h"
 #include "topo/topology.h"
@@ -50,6 +58,11 @@ std::vector<LatencySeries> runFig4Latency(TrafficPattern pattern,
                                           const std::vector<double> &rates,
                                           const RunPhases &phases = {});
 
+/// The sweep grid behind runFig4Latency (topologies x rates, one pattern).
+SweepSpec fig4Spec(TrafficPattern pattern, const std::vector<double> &rates,
+                   const RunPhases &phases = {});
+std::vector<LatencySeries> latencySeriesFromSweep(const SweepResult &result);
+
 // ------------------------------------------------- Sec. 5.2 (text): E4
 
 struct SaturationPreemption {
@@ -62,6 +75,9 @@ struct SaturationPreemption {
 std::vector<SaturationPreemption>
 runSaturationPreemption(TrafficPattern pattern, double rate = 0.15,
                         const RunPhases &phases = {});
+
+SweepSpec saturationSpec(TrafficPattern pattern, double rate = 0.15,
+                         const RunPhases &phases = {});
 
 // --------------------------------------------------------------- Table 2
 
@@ -83,10 +99,14 @@ struct FairnessRow {
 std::vector<FairnessRow> runTable2Fairness(Cycle measureCycles = 280000,
                                            Cycle warmup = 20000);
 
+SweepSpec table2Spec(Cycle measureCycles = 280000, Cycle warmup = 20000);
+std::vector<FairnessRow> fairnessFromSweep(const SweepResult &result);
+
 // --------------------------------------------------------- Figs. 5 and 6
 
 struct AdversarialResult {
     TopologyKind topology;
+    int workload = 0; ///< 1 or 2 (grids may carry both)
     double preemptedPacketsPct = 0.0; ///< Fig. 5 "Packets"
     double replayedHopsPct = 0.0;     ///< Fig. 5 "Hops"
     double slowdownPct = 0.0;         ///< Fig. 6 vs per-flow queueing
@@ -101,6 +121,11 @@ struct AdversarialResult {
 /// completion-time slowdown, and deviation from max-min throughput.
 std::vector<AdversarialResult> runAdversarial(int workload,
                                               Cycle genCycles = 100000);
+
+/// `workload` 1 or 2 selects one workload; 0 puts both on the grid (the
+/// fig5/fig6 drivers run them as one sweep for full parallelism).
+SweepSpec adversarialSpec(int workload, Cycle genCycles = 100000);
+std::vector<AdversarialResult> adversarialFromSweep(const SweepResult &result);
 
 // ---------------------------------------------------------------- Fig. 7
 
@@ -149,5 +174,12 @@ ChipConsolidationResult
 runChipConsolidation(TopologyKind kind = TopologyKind::Dps,
                      double ratePerNode = 0.05,
                      const RunPhases &phases = {});
+
+SweepSpec chipConsolidationSpec(TopologyKind kind = TopologyKind::Dps,
+                                double ratePerNode = 0.05,
+                                const RunPhases &phases = {});
+/// Maps the first cell of a ChipConsolidation sweep back into the
+/// structured result (one cell == one scenario run).
+ChipConsolidationResult chipConsolidationFromCell(const CellResult &cell);
 
 } // namespace taqos

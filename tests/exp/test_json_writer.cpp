@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "exp/json_writer.h"
+
+namespace taqos {
+namespace {
+
+TEST(JsonWriter, EmptyObject)
+{
+    JsonWriter w;
+    w.beginObject().endObject();
+    EXPECT_EQ(w.str(), "{}");
+}
+
+TEST(JsonWriter, FlatObject)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("a", 1);
+    w.field("b", 2.5);
+    w.field("c", "x");
+    w.field("d", true);
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\n  \"a\": 1,\n  \"b\": 2.5,\n  \"c\": \"x\",\n"
+              "  \"d\": true\n}");
+}
+
+TEST(JsonWriter, NestedContainers)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.beginArray("xs");
+    w.value(1);
+    w.value(2);
+    w.endArray();
+    w.beginObject("o");
+    w.field("k", "v");
+    w.endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\n  \"xs\": [\n    1,\n    2\n  ],\n"
+                       "  \"o\": {\n    \"k\": \"v\"\n  }\n}");
+}
+
+TEST(JsonWriter, EscapesStrings)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(jsonEscape(std::string("x\x01y", 3)), "x\\u0001y");
+}
+
+TEST(JsonWriter, NumberFormatting)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(42.0), "42");
+    EXPECT_EQ(jsonNumber(-3.0), "-3");
+    EXPECT_EQ(jsonNumber(0.06), "0.06");
+    EXPECT_EQ(jsonNumber(1.0 / 0.0), "null");
+    EXPECT_EQ(jsonNumber(0.0 / 0.0), "null");
+}
+
+TEST(JsonWriter, TopLevelArray)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value("a");
+    w.value(std::uint64_t{18446744073709551615ull});
+    w.endArray();
+    EXPECT_EQ(w.str(), "[\n  \"a\",\n  18446744073709551615\n]");
+}
+
+} // namespace
+} // namespace taqos

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a fresh BENCH_micro.json against the
+committed bench/baseline.json.
+
+Usage:
+    tools/compare_bench.py CURRENT BASELINE [TOLERANCE]
+
+CURRENT is the BENCH_micro.json micro_bench just wrote; BASELINE is the
+committed reference (same schema); TOLERANCE (default 2.0) is the allowed
+slowdown factor - the gate fails when
+
+    current.simCyclesPerSec < baseline.simCyclesPerSec / TOLERANCE
+
+for any benchmark named in the baseline. Benchmarks present only in the
+current snapshot are reported but never fail the gate (new benchmarks get
+a baseline entry on the next refresh). Exit code 1 on regression or on a
+baseline entry missing from the current snapshot.
+"""
+
+import json
+import sys
+
+
+def load_results(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {row["name"]: row for row in doc.get("results", [])}
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.stderr.write(__doc__)
+        return 2
+    current = load_results(argv[1])
+    baseline = load_results(argv[2])
+    tolerance = float(argv[3]) if len(argv) > 3 else 2.0
+
+    failures = []
+    width = max(len(n) for n in baseline) if baseline else 10
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  "
+          f"{'ratio':>6}  verdict")
+    for name, base in sorted(baseline.items()):
+        ref = base["simCyclesPerSec"]
+        if name not in current:
+            print(f"{name:<{width}}  {ref:>12.0f}  {'MISSING':>12}  "
+                  f"{'-':>6}  FAIL")
+            failures.append(f"{name}: missing from current snapshot")
+            continue
+        cur = current[name]["simCyclesPerSec"]
+        ratio = cur / ref if ref > 0 else float("inf")
+        ok = cur >= ref / tolerance
+        print(f"{name:<{width}}  {ref:>12.0f}  {cur:>12.0f}  "
+              f"{ratio:>6.2f}  {'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(
+                f"{name}: {cur:.0f} cycles/s < {ref:.0f} / {tolerance:g}")
+
+    for name in sorted(set(current) - set(baseline)):
+        cur = current[name]["simCyclesPerSec"]
+        print(f"{name:<{width}}  {'(new)':>12}  {cur:>12.0f}  "
+              f"{'-':>6}  ok (not gated)")
+
+    if failures:
+        print("\nperf regression gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        print("If the slowdown is intentional, refresh bench/baseline.json "
+              "(see README 'Performance gate').")
+        return 1
+    print(f"\nperf gate passed ({len(baseline)} benchmarks, "
+          f"tolerance {tolerance:g}x).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
