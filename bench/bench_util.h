@@ -1,13 +1,36 @@
 /// \file bench_util.h
-/// Shared formatting for the benchmark/report binaries.
+/// Shared formatting and option parsing for the benchmark/report binaries.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "common/strings.h"
+#include "qos/pvc.h"
 
 namespace taqos::benchutil {
+
+/// Parse a QOS-mode option (`key=<mode>`) through the canonical
+/// parseQosMode round-trip; exits with the list of valid names on an
+/// unknown value. Every driver shares this instead of ad-hoc string
+/// comparisons.
+inline QosMode
+qosModeFromOpts(const OptionMap &opts, const char *key, QosMode dflt)
+{
+    const std::string s = opts.get(key, "");
+    if (s.empty())
+        return dflt;
+    const auto mode = parseQosMode(s);
+    if (!mode.has_value()) {
+        std::fprintf(stderr, "unknown QOS mode '%s'; valid:", s.c_str());
+        for (QosMode m : kAllQosModes)
+            std::fprintf(stderr, " %s", qosModeName(m));
+        std::fprintf(stderr, "\n");
+        std::exit(1);
+    }
+    return *mode;
+}
 
 inline void
 header(const std::string &title, const std::string &paperRef)

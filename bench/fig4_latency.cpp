@@ -8,6 +8,7 @@
 /// per pattern (<prefix>_<pattern>.json).
 ///
 /// Options: fast=1 (short phases), pattern=uniform|tornado (default both),
+///          mode=pvc|per-flow|no-qos|gsf|age|wrr (default pvc),
 ///          maxrate=0.15, step=0.01, threads=N, json=<prefix>
 #include <cstdio>
 
@@ -22,11 +23,13 @@ namespace {
 
 void
 runPattern(TrafficPattern pattern, const std::vector<double> &rates,
-           const RunPhases &phases, int threads, const std::string &json)
+           const RunPhases &phases, int threads, const std::string &json,
+           QosMode mode)
 {
-    std::printf("--- %s traffic ---\n", patternName(pattern));
+    std::printf("--- %s traffic (%s) ---\n", patternName(pattern),
+                qosModeName(mode));
     const SweepResult result =
-        SweepRunner(threads).run(fig4Spec(pattern, rates, phases));
+        SweepRunner(threads).run(fig4Spec(pattern, rates, phases, mode));
     const auto series = latencySeriesFromSweep(result);
     if (!json.empty()) {
         const std::string path =
@@ -91,12 +94,15 @@ main(int argc, char **argv)
 
     const int threads = static_cast<int>(opts.getInt("threads", 0));
     const std::string json = opts.get("json", "");
+    const QosMode mode =
+        benchutil::qosModeFromOpts(opts, "mode", QosMode::Pvc);
     const std::string which = opts.get("pattern", "both");
     if (which == "both" || which == "uniform")
         runPattern(TrafficPattern::UniformRandom, rates, phases, threads,
-                   json);
+                   json, mode);
     if (which == "both" || which == "tornado")
-        runPattern(TrafficPattern::Tornado, rates, phases, threads, json);
+        runPattern(TrafficPattern::Tornado, rates, phases, threads, json,
+                   mode);
 
     std::printf(
         "Paper expectations: mesh_x1/x2 saturate first (lowest bisection);\n"

@@ -7,6 +7,7 @@
 /// taqos-sweep/v1 record.
 ///
 /// Options: fast=1 (shorter run), cycles=<measure window>, threads=N,
+///          mode=pvc|per-flow|no-qos|gsf|age|wrr (default pvc),
 ///          json=<path>
 #include <cstdio>
 
@@ -29,9 +30,11 @@ main(int argc, char **argv)
     if (opts.getBool("fast", false))
         measure = 60000;
 
+    const QosMode mode =
+        benchutil::qosModeFromOpts(opts, "mode", QosMode::Pvc);
     const SweepResult result =
         SweepRunner(static_cast<int>(opts.getInt("threads", 0)))
-            .run(table2Spec(measure));
+            .run(table2Spec(measure, 20000, mode));
     const std::string json = opts.get("json", "");
     if (!json.empty() && result.writeJson(json))
         std::printf("wrote %s\n", json.c_str());

@@ -6,7 +6,7 @@
 ///   scenario=latency_load|hotspot|adversarial|chip   (default latency_load)
 ///   topos=all | comma list (mesh_x1,mesh_x2,mesh_x4,mecs,dps,fbfly)
 ///   patterns=uniform,tornado,hotspot                 (latency_load only)
-///   modes=pvc,pfq,noqos
+///   modes=pvc,per-flow,no-qos,gsf,age,wrr
 ///   rates=0.02,0.05 | lo:hi:step                     (flits/cycle/injector)
 ///   workloads=1,2                                    (adversarial only)
 ///   placements=0,1,2                                 (chip only)

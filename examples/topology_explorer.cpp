@@ -16,22 +16,20 @@ main(int argc, char **argv)
 
     const auto kind = parseTopology(opts.get("topology", "dps"));
     const auto pattern = parsePattern(opts.get("pattern", "uniform"));
-    if (!kind || !pattern) {
+    const auto mode = parseQosMode(opts.get("mode", "pvc"));
+    if (!kind || !pattern || !mode) {
         std::fprintf(stderr,
                      "usage: topology_explorer [topology=mesh_x1|mesh_x2|"
                      "mesh_x4|mecs|dps]\n"
                      "       [pattern=uniform|tornado|hotspot] [rate=0.05]\n"
-                     "       [mode=pvc|per-flow|no-qos] [cycles=50000] "
-                     "[frame=50000] [window=16]\n");
+                     "       [mode=pvc|per-flow|no-qos|gsf|age|wrr] "
+                     "[cycles=50000] [frame=50000] [window=16]\n");
         return 1;
     }
 
     ColumnConfig col;
     col.topology = *kind;
-    const std::string mode = strLower(opts.get("mode", "pvc"));
-    col.mode = mode == "no-qos" ? QosMode::NoQos
-        : mode == "per-flow"    ? QosMode::PerFlowQueue
-                                : QosMode::Pvc;
+    col.mode = *mode;
     col.pvc.frameLen = static_cast<Cycle>(opts.getInt("frame", 50000));
     col.pvc.windowLimit = static_cast<int>(opts.getInt("window", 16));
 

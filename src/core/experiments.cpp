@@ -52,10 +52,11 @@ runFig3Area()
 
 SweepSpec
 fig4Spec(TrafficPattern pattern, const std::vector<double> &rates,
-         const RunPhases &phases)
+         const RunPhases &phases, QosMode mode)
 {
     SweepSpec spec = figureSpec(Scenario::LatencyLoad, "fig4_latency");
     spec.patterns = {pattern};
+    spec.modes = {mode};
     spec.rates = rates;
     spec.phases = phases;
     return spec;
@@ -93,19 +94,21 @@ latencySeriesFromSweep(const SweepResult &result)
 
 std::vector<LatencySeries>
 runFig4Latency(TrafficPattern pattern, const std::vector<double> &rates,
-               const RunPhases &phases)
+               const RunPhases &phases, QosMode mode)
 {
     return latencySeriesFromSweep(
-        SweepRunner().run(fig4Spec(pattern, rates, phases)));
+        SweepRunner().run(fig4Spec(pattern, rates, phases, mode)));
 }
 
 // ------------------------------------------------- Sec. 5.2 (text): E4
 
 SweepSpec
-saturationSpec(TrafficPattern pattern, double rate, const RunPhases &phases)
+saturationSpec(TrafficPattern pattern, double rate, const RunPhases &phases,
+               QosMode mode)
 {
     SweepSpec spec = figureSpec(Scenario::LatencyLoad, "sat_preemption");
     spec.patterns = {pattern};
+    spec.modes = {mode};
     spec.rates = {rate};
     spec.phases = phases;
     return spec;
@@ -129,11 +132,12 @@ runSaturationPreemption(TrafficPattern pattern, double rate,
 // --------------------------------------------------------------- Table 2
 
 SweepSpec
-table2Spec(Cycle measureCycles, Cycle warmup)
+table2Spec(Cycle measureCycles, Cycle warmup, QosMode mode)
 {
     SweepSpec spec = figureSpec(Scenario::Hotspot, "table2_hotspot");
     // Every injector (terminal and row inputs, node 0 included) streams
     // to the node-0 terminal well above the 1/64 fair share.
+    spec.modes = {mode};
     spec.rates = {0.05};
     spec.phases = RunPhases{warmup, measureCycles, 0};
     return spec;
@@ -158,10 +162,10 @@ fairnessFromSweep(const SweepResult &result)
 }
 
 std::vector<FairnessRow>
-runTable2Fairness(Cycle measureCycles, Cycle warmup)
+runTable2Fairness(Cycle measureCycles, Cycle warmup, QosMode mode)
 {
     return fairnessFromSweep(
-        SweepRunner().run(table2Spec(measureCycles, warmup)));
+        SweepRunner().run(table2Spec(measureCycles, warmup, mode)));
 }
 
 // --------------------------------------------------------- Figs. 5 and 6

@@ -53,14 +53,16 @@ struct LatencySeries {
     std::vector<LatencyPoint> points;
 };
 
-/// Latency/throughput vs offered load for all five topologies.
+/// Latency/throughput vs offered load for all five topologies, under any
+/// arbitration policy (the paper's Fig. 4 uses PVC).
 std::vector<LatencySeries> runFig4Latency(TrafficPattern pattern,
                                           const std::vector<double> &rates,
-                                          const RunPhases &phases = {});
+                                          const RunPhases &phases = {},
+                                          QosMode mode = QosMode::Pvc);
 
 /// The sweep grid behind runFig4Latency (topologies x rates, one pattern).
 SweepSpec fig4Spec(TrafficPattern pattern, const std::vector<double> &rates,
-                   const RunPhases &phases = {});
+                   const RunPhases &phases = {}, QosMode mode = QosMode::Pvc);
 std::vector<LatencySeries> latencySeriesFromSweep(const SweepResult &result);
 
 // ------------------------------------------------- Sec. 5.2 (text): E4
@@ -77,7 +79,8 @@ runSaturationPreemption(TrafficPattern pattern, double rate = 0.15,
                         const RunPhases &phases = {});
 
 SweepSpec saturationSpec(TrafficPattern pattern, double rate = 0.15,
-                         const RunPhases &phases = {});
+                         const RunPhases &phases = {},
+                         QosMode mode = QosMode::Pvc);
 
 // --------------------------------------------------------------- Table 2
 
@@ -96,10 +99,14 @@ struct FairnessRow {
 
 /// Hotspot fairness: every injector streams to the node-0 terminal;
 /// reports per-flow delivered flits (mean/min/max/stddev), as Table 2.
+/// `mode` selects the arbitration policy under test (the paper's table
+/// evaluates PVC; the starvation premise is no-qos).
 std::vector<FairnessRow> runTable2Fairness(Cycle measureCycles = 280000,
-                                           Cycle warmup = 20000);
+                                           Cycle warmup = 20000,
+                                           QosMode mode = QosMode::Pvc);
 
-SweepSpec table2Spec(Cycle measureCycles = 280000, Cycle warmup = 20000);
+SweepSpec table2Spec(Cycle measureCycles = 280000, Cycle warmup = 20000,
+                     QosMode mode = QosMode::Pvc);
 std::vector<FairnessRow> fairnessFromSweep(const SweepResult &result);
 
 // --------------------------------------------------------- Figs. 5 and 6

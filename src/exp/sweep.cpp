@@ -320,19 +320,6 @@ parseScenario(const std::string &name)
     return std::nullopt;
 }
 
-std::optional<QosMode>
-parseQosMode(const std::string &name)
-{
-    const std::string n = strLower(strTrim(name));
-    if (n == "pvc")
-        return QosMode::Pvc;
-    if (n == "pfq" || n == "perflow" || n == "per_flow_queue")
-        return QosMode::PerFlowQueue;
-    if (n == "noqos" || n == "none")
-        return QosMode::NoQos;
-    return std::nullopt;
-}
-
 const std::vector<VmPlacement> &
 vmPlacements()
 {

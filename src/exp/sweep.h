@@ -41,8 +41,6 @@ enum class Scenario {
 const char *scenarioName(Scenario s);
 std::optional<Scenario> parseScenario(const std::string &name);
 
-std::optional<QosMode> parseQosMode(const std::string &name);
-
 /// One VM the consolidation scenario admits.
 struct VmSpec {
     int id = 0;

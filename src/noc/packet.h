@@ -12,6 +12,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -22,6 +23,10 @@ namespace taqos {
 
 class InputPort;
 class OutputPort;
+
+/// "Not admitted into any GSF frame" (see NetPacket::frameTag).
+inline constexpr std::uint64_t kNoFrameTag =
+    std::numeric_limits<std::uint64_t>::max();
 
 /// Where a packet currently holds a virtual channel.
 struct VcRef {
@@ -63,6 +68,11 @@ struct NetPacket {
     /// Priority carried with the packet (PVC priority reuse). Lower value
     /// means higher priority.
     std::uint64_t carriedPrio = 0;
+
+    /// GSF frame this packet was admitted into (QosMode::Gsf only;
+    /// stamped by the SourceGate, kNoFrameTag otherwise). Earlier frames
+    /// have absolute priority at every router.
+    std::uint64_t frameTag = kNoFrameTag;
 
     /// First cycle this packet failed VC allocation at its current hop
     /// (kNoCycle = not blocked); gates preemption-inversion detection.

@@ -1,6 +1,7 @@
 #include "qos/pvc.h"
 
 #include "common/assert.h"
+#include "common/strings.h"
 
 namespace taqos {
 
@@ -11,8 +12,32 @@ qosModeName(QosMode mode)
       case QosMode::Pvc: return "pvc";
       case QosMode::PerFlowQueue: return "per-flow";
       case QosMode::NoQos: return "no-qos";
+      case QosMode::Gsf: return "gsf";
+      case QosMode::AgeArb: return "age";
+      case QosMode::Wrr: return "wrr";
     }
     return "?";
+}
+
+std::optional<QosMode>
+parseQosMode(const std::string &name)
+{
+    const std::string n = strLower(strTrim(name));
+    if (n == "pvc")
+        return QosMode::Pvc;
+    if (n == "per-flow" || n == "pfq" || n == "perflow" ||
+        n == "per_flow_queue") {
+        return QosMode::PerFlowQueue;
+    }
+    if (n == "no-qos" || n == "noqos" || n == "none")
+        return QosMode::NoQos;
+    if (n == "gsf" || n == "frames")
+        return QosMode::Gsf;
+    if (n == "age" || n == "oldest-first" || n == "age-based")
+        return QosMode::AgeArb;
+    if (n == "wrr" || n == "weighted-rr")
+        return QosMode::Wrr;
+    return std::nullopt;
 }
 
 std::uint32_t

@@ -12,20 +12,36 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
 
 namespace taqos {
 
-/// Arbitration / QOS discipline of the shared-region routers.
+/// Arbitration / QOS discipline of the shared-region routers. Each mode
+/// selects a QosPolicy implementation (qos/policy.h).
 enum class QosMode {
     Pvc,          ///< Preemptive Virtual Clock (the paper's scheme)
     PerFlowQueue, ///< per-flow queueing: preemption-free reference (Fig. 6)
     NoQos,        ///< round-robin, no flow state (starvation baseline)
+    Gsf,          ///< Globally Synchronized Frames (Lee et al., ISCA 2008)
+    AgeArb,       ///< oldest-packet-first (starvation-free baseline)
+    Wrr,          ///< weighted round-robin over flows per output port
+};
+
+/// Every supported arbitration policy (sweeps, parameterized tests).
+inline constexpr QosMode kAllQosModes[] = {
+    QosMode::Pvc, QosMode::PerFlowQueue, QosMode::NoQos,
+    QosMode::Gsf, QosMode::AgeArb,       QosMode::Wrr,
 };
 
 const char *qosModeName(QosMode mode);
+
+/// Inverse of qosModeName (plus common aliases); nullopt when unknown.
+/// Round-trip: parseQosMode(qosModeName(m)) == m for every mode.
+std::optional<QosMode> parseQosMode(const std::string &name);
 
 struct PvcParams {
     /// Counter flush interval. The paper uses a 50K-cycle frame.
@@ -64,6 +80,13 @@ struct PvcParams {
     /// inversion against a streaming packet must be detected faster.
     int preemptXferWaitCycles = 2;
     std::uint64_t preemptGapFlits = 48;
+
+    /// GSF (QosMode::Gsf): frame length in cycles and the number of
+    /// frames a source may inject ahead into. Each flow's budget per
+    /// frame is `weight/sumW * gsfFrameLen` flits; the window advances
+    /// when the oldest frame drains (early reclamation) or times out.
+    Cycle gsfFrameLen = 2000;
+    int gsfFrames = 4;
 
     /// `preemptGapFlits` in scaled priority units.
     std::uint64_t preemptGapScaled() const

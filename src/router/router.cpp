@@ -5,21 +5,9 @@
 #include "common/log.h"
 
 namespace taqos {
-namespace {
-
-/// Modulus for the NoQos rotating arbiter's cyclic ranking.
-constexpr std::uint32_t kRrModulus = 4096;
-
-std::uint32_t
-cyclicRank(std::uint32_t key, std::uint32_t ptr)
-{
-    return (key + kRrModulus - (ptr % kRrModulus)) % kRrModulus;
-}
-
-} // namespace
 
 Router::Router(NodeId node, QosMode mode, const PvcParams &params)
-    : node_(node), mode_(mode), params_(&params)
+    : node_(node), params_(&params), policy_(makeQosPolicy(mode, params))
 {
 }
 
@@ -61,12 +49,13 @@ Router::finalize()
                      out->name.c_str());
         numTables = std::max(numTables, out->tableIdx + 1);
     }
-    // Per-flow bandwidth state exists only for PVC and the per-flow
-    // queueing reference (which schedules by the same virtual clock).
-    if (mode_ != QosMode::NoQos)
+    // Per-flow bandwidth state exists only for the policies that schedule
+    // by it: PVC, the per-flow queueing reference (same virtual clock),
+    // and WRR (round-count meter).
+    if (policy_->usesFlowTable())
         flowTable_ = FlowTable(*params_, numTables);
     best_.resize(outputs_.size());
-    rrPtr_.assign(outputs_.size(), 0);
+    policy_->init(static_cast<int>(outputs_.size()));
 }
 
 RouteEntry
@@ -90,28 +79,17 @@ std::uint64_t
 Router::priorityFor(const NetPacket &pkt, const InputPort &in,
                     int outPort) const
 {
-    if (mode_ == QosMode::NoQos)
-        return 0;
-    if (in.usesCarriedPrio || !flowTable_.enabled())
-        return pkt.carriedPrio;
-    return flowTable_.priorityOf(
-        outputs_[static_cast<std::size_t>(outPort)]->tableIdx, pkt.flow);
+    return policy_->priority(
+        pkt, in.usesCarriedPrio, flowTable_,
+        outputs_[static_cast<std::size_t>(outPort)]->tableIdx);
 }
 
 bool
 Router::betterThan(const Candidate &a, const Candidate &b, int outPort) const
 {
-    if (mode_ == QosMode::NoQos) {
-        return cyclicRank(a.rrKey, rrPtr_[static_cast<std::size_t>(outPort)]) <
-               cyclicRank(b.rrKey, rrPtr_[static_cast<std::size_t>(outPort)]);
-    }
-    if (a.prio != b.prio)
-        return a.prio < b.prio;
-    if (a.age != b.age)
-        return a.age < b.age;
-    if (a.pkt->flow != b.pkt->flow)
-        return a.pkt->flow < b.pkt->flow;
-    return a.rrKey < b.rrKey;
+    return policy_->betterThan(ArbKey{a.prio, a.age, a.pkt->flow, a.rrKey},
+                               ArbKey{b.prio, b.age, b.pkt->flow, b.rrKey},
+                               outPort);
 }
 
 void
@@ -136,6 +114,10 @@ Router::collectCandidates(TickContext &ctx)
                 if (!pkt->inWindow && !inj->windowOpen())
                     continue;
                 if (ctx.now < pkt->queuedCycle + ready)
+                    continue;
+                // Source-side policy gate (GSF frame budgets): an
+                // unadmitted packet stalls its queue.
+                if (ctx.gate != nullptr && !ctx.gate->admit(*pkt, ctx.now))
                     continue;
                 Candidate cand;
                 cand.pkt = pkt;
@@ -207,13 +189,14 @@ Router::tryGrant(Candidate &cand, TickContext &ctx)
     if (!out->linkFree(ctx.now) || out->transfer().active) {
         // Blocked by an ongoing transfer on the output channel. A
         // higher-priority arrival does not interrupt the transfer — but a
-        // preemption does (Sec. 4): if the inversion persists past the
-        // wait threshold, the streaming packet is discarded.
+        // preemption does (Sec. 4): if the policy judges the inversion to
+        // have persisted past its wait threshold, the streaming packet is
+        // discarded.
         if (pkt->blockedSince == kNoCycle)
             pkt->blockedSince = ctx.now;
-        if (mode_ == QosMode::Pvc && out->transfer().active &&
-            ctx.now - pkt->blockedSince >=
-                static_cast<Cycle>(params_->preemptXferWaitCycles)) {
+        if (out->transfer().active &&
+            policy_->onAllocFail(ctx.now - pkt->blockedSince,
+                                 /*xferBlocked=*/true)) {
             tryPreempt(cand,
                        out->drops[static_cast<std::size_t>(cand.dropIdx)]
                            .down,
@@ -235,14 +218,10 @@ Router::tryGrant(Candidate &cand, TickContext &ctx)
     InputPort *down = drop.down;
     const int vcIdx = down->findFreeVc(ctx.now, compliant);
     if (vcIdx < 0) {
-        // Inversion detection: transient buffer-full is not an inversion;
-        // the requester must have been stuck for a threshold number of
-        // cycles before PVC pays the preemption cost.
         if (pkt->blockedSince == kNoCycle)
             pkt->blockedSince = ctx.now;
-        if (mode_ == QosMode::Pvc &&
-            ctx.now - pkt->blockedSince >=
-                static_cast<Cycle>(params_->preemptWaitCycles)) {
+        if (policy_->onAllocFail(ctx.now - pkt->blockedSince,
+                                 /*xferBlocked=*/false)) {
             tryPreempt(cand, down, ctx);
         }
         return;
@@ -294,8 +273,8 @@ Router::tryGrant(Candidate &cand, TickContext &ctx)
     if (cand.port->group != nullptr)
         cand.port->group->occupy(ctx.now, pkt->sizeFlits);
 
-    if (mode_ == QosMode::NoQos)
-        rrPtr_[static_cast<std::size_t>(cand.outPort)] = cand.rrKey + 1;
+    policy_->onGrant(cand.outPort,
+                     ArbKey{cand.prio, cand.age, pkt->flow, cand.rrKey});
 }
 
 bool
@@ -461,6 +440,7 @@ Router::frameFlush()
 {
     if (flowTable_.enabled())
         flowTable_.flush();
+    policy_->rollover();
 }
 
 } // namespace taqos

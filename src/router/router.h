@@ -1,5 +1,5 @@
 /// \file router.h
-/// A shared-region router with PVC quality-of-service support.
+/// A shared-region router with pluggable quality-of-service arbitration.
 ///
 /// One Router class covers all five evaluated configurations; the topology
 /// builder (src/topo) instantiates the port structure that makes it a mesh
@@ -7,15 +7,21 @@
 /// extra pass-through input ports with a 1-cycle pipeline and no crossbar
 /// group — the 2:1 mux of Figure 2(c).
 ///
+/// The router owns the *mechanism* — VC allocation, cut-through transfer
+/// management, preemption teardown — and delegates every *policy* question
+/// (candidate priority, comparator, preemption decision) to the QosPolicy
+/// its mode selects (qos/policy.h).
+///
 /// Per-cycle operation:
 ///   1. tickCompletion on every output (tail departures free source VCs).
 ///   2. Virtual-channel allocation per output port: the highest-priority
 ///      eligible packet gets a downstream VC and starts streaming
 ///      (virtual cut-through: the whole packet follows, crossbar
 ///      arbitration is subsumed by the allocation).
-///   3. On allocation failure, PVC preemption: if a buffered lower-priority
-///      non-rate-compliant packet is blocking the requester (priority
-///      inversion), it is discarded, NACKed to its source, and replayed.
+///   3. On allocation failure, the policy may preempt (PVC): if a
+///      buffered lower-priority non-rate-compliant packet is blocking the
+///      requester (priority inversion), it is discarded, NACKed to its
+///      source, and replayed.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +35,7 @@
 #include "noc/ports.h"
 #include "qos/ack_network.h"
 #include "qos/flow_table.h"
+#include "qos/policy.h"
 #include "qos/pvc.h"
 
 namespace taqos {
@@ -46,6 +53,9 @@ struct TickContext {
     QuotaTracker *quota = nullptr;
     AckNetwork *ack = nullptr;
     SimMetrics *metrics = nullptr;
+    /// Source-side policy gate (GSF frame budgets); null for policies
+    /// without an injection gate.
+    SourceGate *gate = nullptr;
 };
 
 class Router {
@@ -53,7 +63,8 @@ class Router {
     Router(NodeId node, QosMode mode, const PvcParams &params);
 
     NodeId node() const { return node_; }
-    QosMode mode() const { return mode_; }
+    QosMode mode() const { return policy_->mode(); }
+    const QosPolicy &policy() const { return *policy_; }
 
     // --- construction (used by the topology builders) ---
     InputPort *addInputPort(std::unique_ptr<InputPort> port);
@@ -121,8 +132,10 @@ class Router {
     bool validate(const Candidate &cand) const;
 
     NodeId node_;
-    QosMode mode_;
     const PvcParams *params_;
+    /// Every priority / preemption / quota decision (owns the per-router
+    /// arbitration state, e.g. the NoQos rotating pointers).
+    std::unique_ptr<QosPolicy> policy_;
 
     std::vector<std::unique_ptr<InputPort>> inputs_;
     std::vector<std::unique_ptr<OutputPort>> outputs_;
@@ -132,8 +145,6 @@ class Router {
 
     /// Best candidate per output for the current cycle.
     std::vector<Candidate> best_;
-    /// NoQos rotating-arbiter pointers, one per output.
-    std::vector<std::uint32_t> rrPtr_;
 };
 
 } // namespace taqos

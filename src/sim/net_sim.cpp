@@ -8,8 +8,9 @@ namespace taqos {
 NetSim::NetSim(std::unique_ptr<Network> net)
     : net_(std::move(net)), metrics_(net_->numFlows())
 {
-    if (net_->mode() == QosMode::Pvc)
+    if (net_->policyTraits().usesSourceQuota())
         quota_ = std::make_unique<QuotaTracker>(net_->pvcParams());
+    gate_ = makeSourceGate(net_->mode(), net_->pvcParams());
 }
 
 NetSim::~NetSim() = default;
@@ -30,14 +31,18 @@ NetSim::setMeasureWindow(Cycle start, Cycle end)
 void
 NetSim::processFrameBoundary()
 {
-    const Cycle frame = net_->pvcParams().frameLen;
-    if (net_->mode() != QosMode::Pvc || frame == 0 || now_ == 0 ||
-        now_ % frame != 0) {
+    // Source-gated policies (GSF) advance their global frame window on
+    // their own schedule (drain-driven early reclamation).
+    if (gate_ != nullptr)
+        gate_->rollover(now_);
+
+    const Cycle frame = net_->policyTraits().frameLen();
+    if (frame == 0 || now_ == 0 || now_ % frame != 0)
         return;
-    }
     for (NodeId n = 0; n < net_->numNodes(); ++n)
         net_->router(n)->frameFlush();
-    quota_->flush();
+    if (quota_ != nullptr)
+        quota_->flush();
 
     // The flush clears bandwidth history everywhere — including the
     // priority copies carried by in-flight packets (priority reuse).
@@ -109,6 +114,8 @@ NetSim::deliver(NetPacket *pkt, InputPort *port, int vcIdx)
 
     ack_.send(now_, net_->ackDistance(pkt->src, pkt->dst), pkt,
               /*isNack=*/false);
+    if (gate_ != nullptr)
+        gate_->onDeliver(*pkt, now_);
 }
 
 void
@@ -139,6 +146,7 @@ NetSim::step()
     ctx.quota = quota_.get();
     ctx.ack = &ack_;
     ctx.metrics = &metrics_;
+    ctx.gate = gate_.get();
     for (NodeId n = 0; n < net_->numNodes(); ++n)
         net_->router(n)->tickCompletions(now_);
     for (NodeId n = 0; n < net_->numNodes(); ++n)

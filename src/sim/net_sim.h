@@ -5,7 +5,8 @@
 ///
 /// Per-cycle phase order (dependences are cut by explicit delays, so the
 /// order within a cycle only has to be internally consistent):
-///   1. PVC frame boundary: flush flow tables and quota counters.
+///   1. Policy frame boundary: advance the source gate's frame window
+///      (GSF) and flush flow tables / quota counters (PVC).
 ///   2. ACK network delivery: completed packets retire and free their
 ///      window slot; NACKed packets re-enter their source queue.
 ///   3. Traffic generation into the source queues.
@@ -19,6 +20,7 @@
 #include "noc/metrics.h"
 #include "noc/packet.h"
 #include "qos/ack_network.h"
+#include "qos/policy.h"
 #include "qos/pvc.h"
 #include "sim/sim_config.h"
 #include "topo/network.h"
@@ -82,6 +84,7 @@ class NetSim {
     std::unique_ptr<Network> net_;
     std::unique_ptr<TrafficSource> source_;
     std::unique_ptr<QuotaTracker> quota_; ///< null unless PVC
+    std::unique_ptr<SourceGate> gate_;    ///< null unless the policy gates
     AckNetwork ack_;
     PacketPool pool_;
     SimMetrics metrics_;

@@ -7,7 +7,7 @@
 namespace taqos {
 
 Network::Network(QosMode mode, PvcParams pvc)
-    : mode_(mode), pvc_(std::move(pvc))
+    : mode_(mode), pvc_(std::move(pvc)), traits_(makeQosPolicy(mode, pvc_))
 {
 }
 
@@ -22,13 +22,13 @@ Network::ackDistance(NodeId src, NodeId dst) const
 int
 Network::reservedIdx() const
 {
-    return mode_ == QosMode::Pvc && pvc_.reservedVcEnabled ? 0 : -1;
+    return traits_->usesReservedVc() ? 0 : -1;
 }
 
 bool
 Network::unbounded() const
 {
-    return mode_ == QosMode::PerFlowQueue;
+    return traits_->unboundedVcs();
 }
 
 Router *

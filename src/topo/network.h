@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "noc/ports.h"
+#include "qos/policy.h"
 #include "qos/pvc.h"
 #include "router/router.h"
 
@@ -29,6 +30,11 @@ class Network {
     /// QOS discipline of this network's protected routers.
     QosMode mode() const { return mode_; }
     const PvcParams &pvcParams() const { return pvc_; }
+
+    /// Structural properties of the mode's policy (flow tables, reserved
+    /// VCs, frames, source quotas) — a stateless prototype instance; the
+    /// stateful per-router policies live inside the routers.
+    const QosPolicy &policyTraits() const { return *traits_; }
 
     int numNodes() const { return static_cast<int>(routers_.size()); }
     int numFlows() const { return static_cast<int>(injectors_.size()); }
@@ -112,8 +118,10 @@ class Network {
     Network(QosMode mode, PvcParams pvc);
 
     QosMode mode_;
-    /// Stable storage for the PVC parameters every router references.
+    /// Stable storage for the QOS parameters every router references.
     PvcParams pvc_;
+    /// Prototype policy instance backing policyTraits().
+    std::unique_ptr<QosPolicy> traits_;
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<InputPort>> termPorts_;
     std::vector<InjectorQueue> injectors_;

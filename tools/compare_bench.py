@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
-"""Perf-regression gate: compare a fresh BENCH_micro.json against the
+"""Perf-regression gate: compare fresh BENCH_*.json snapshots against the
 committed bench/baseline.json.
 
 Usage:
-    tools/compare_bench.py CURRENT BASELINE [TOLERANCE]
+    tools/compare_bench.py CURRENT[,CURRENT2,...] BASELINE [TOLERANCE]
 
-CURRENT is the BENCH_micro.json micro_bench just wrote; BASELINE is the
+CURRENT is a comma-separated list of snapshot files the bench binaries
+just wrote (BENCH_micro.json from micro_bench, BENCH_qos_policy.json from
+ablation_qos_policy); their result lists are merged. BASELINE is the
 committed reference (same schema); TOLERANCE (default 2.0) is the allowed
 slowdown factor - the gate fails when
 
@@ -22,9 +24,12 @@ import sys
 
 
 def load_results(path):
-    with open(path) as f:
-        doc = json.load(f)
-    return {row["name"]: row for row in doc.get("results", [])}
+    merged = {}
+    for part in path.split(","):
+        with open(part) as f:
+            doc = json.load(f)
+        merged.update({row["name"]: row for row in doc.get("results", [])})
+    return merged
 
 
 def main(argv):
