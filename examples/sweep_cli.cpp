@@ -3,6 +3,10 @@
 /// per-grid-point aggregates, and optionally write the full JSON record.
 ///
 /// Options (all optional):
+///   preset=fig4|fig5|fig6|table2|adversarial
+///       start from a paper-figure spec builder at paper-scale cycle
+///       counts (fig5/fig6/adversarial share one grid: workloads 1+2);
+///       later options override individual axes
 ///   scenario=latency_load|hotspot|adversarial|chip   (default latency_load)
 ///   topos=all | comma list (mesh_x1,mesh_x2,mesh_x4,mecs,dps,fbfly)
 ///   patterns=uniform,tornado,hotspot                 (latency_load only)
@@ -26,6 +30,7 @@
 
 #include "common/strings.h"
 #include "common/table.h"
+#include "core/experiments.h"
 #include "exp/sweep.h"
 
 using namespace taqos;
@@ -110,20 +115,64 @@ parseInts(const std::string &s)
 
 } // namespace
 
+namespace {
+
+/// Paper-figure presets: the same spec builders the figure drivers run,
+/// at their paper-scale defaults. Axis options override on top.
+bool
+applyPreset(const std::string &name, SweepSpec &spec)
+{
+    if (name == "fig4") {
+        std::vector<double> rates;
+        for (double r = 0.01; r <= 0.15 + 1e-9; r += 0.01)
+            rates.push_back(r);
+        spec = fig4Spec(TrafficPattern::UniformRandom, rates);
+        return true;
+    }
+    if (name == "fig5" || name == "fig6" || name == "adversarial") {
+        // One grid backs both figures (workloads 1 and 2; each cell runs
+        // PVC plus the preemption-free reference).
+        spec = adversarialSpec(/*workload=*/0);
+        spec.name = "fig5_fig6_adversarial";
+        return true;
+    }
+    if (name == "table2") {
+        spec = table2Spec();
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     const OptionMap opts(argc, argv);
 
     SweepSpec spec;
-    spec.name = opts.get("name", "sweep_cli");
-
-    const auto scenario = parseScenario(opts.get("scenario", "latency_load"));
-    if (!scenario.has_value()) {
-        std::fprintf(stderr, "unknown scenario\n");
+    const std::string preset = opts.get("preset", "");
+    if (!preset.empty() && !applyPreset(preset, spec)) {
+        std::fprintf(stderr,
+                     "unknown preset '%s'; valid: fig4 fig5 fig6 "
+                     "adversarial table2\n",
+                     preset.c_str());
         return 1;
     }
-    spec.scenario = *scenario;
+    if (opts.has("name"))
+        spec.name = opts.get("name", "sweep_cli");
+    else if (preset.empty())
+        spec.name = "sweep_cli";
+
+    if (preset.empty() || opts.has("scenario")) {
+        const auto scenario =
+            parseScenario(opts.get("scenario", "latency_load"));
+        if (!scenario.has_value()) {
+            std::fprintf(stderr, "unknown scenario\n");
+            return 1;
+        }
+        spec.scenario = *scenario;
+    }
 
     const std::string topos = opts.get("topos", "all");
     if (topos != "all") {
@@ -148,17 +197,28 @@ main(int argc, char **argv)
     if (opts.has("placements"))
         spec.placements = parseInts(opts.get("placements", ""));
 
-    spec.replicates = static_cast<int>(opts.getInt("reps", 1));
+    if (preset.empty() || opts.has("reps"))
+        spec.replicates = static_cast<int>(opts.getInt("reps", 1));
     spec.baseSeed = static_cast<std::uint64_t>(
         opts.getInt("seed", static_cast<std::int64_t>(spec.baseSeed)));
-    spec.mixSeeds = opts.getBool("mix", true);
-    spec.phases.warmup =
-        static_cast<Cycle>(opts.getInt("warmup", 20000));
-    spec.phases.measure =
-        static_cast<Cycle>(opts.getInt("measure", 50000));
-    spec.phases.drain = static_cast<Cycle>(opts.getInt("drain", 30000));
-    spec.genCycles =
-        static_cast<Cycle>(opts.getInt("gencycles", 100000));
+    if (preset.empty() || opts.has("mix"))
+        spec.mixSeeds = opts.getBool("mix", true);
+    // Presets carry the figure's paper-scale phase/horizon defaults;
+    // explicit options still override them.
+    if (preset.empty() || opts.has("warmup")) {
+        spec.phases.warmup =
+            static_cast<Cycle>(opts.getInt("warmup", 20000));
+    }
+    if (preset.empty() || opts.has("measure")) {
+        spec.phases.measure =
+            static_cast<Cycle>(opts.getInt("measure", 50000));
+    }
+    if (preset.empty() || opts.has("drain"))
+        spec.phases.drain = static_cast<Cycle>(opts.getInt("drain", 30000));
+    if (preset.empty() || opts.has("gencycles")) {
+        spec.genCycles =
+            static_cast<Cycle>(opts.getInt("gencycles", 100000));
+    }
 
     const int threads = static_cast<int>(opts.getInt("threads", 0));
     const SweepRunner runner(threads);

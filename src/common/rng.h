@@ -26,11 +26,32 @@ class Rng {
     /// Re-initialize the state from a 64-bit seed.
     void reseed(std::uint64_t seed);
 
-    /// Uniform 64-bit value.
-    std::uint64_t nextU64();
+    /// Uniform 64-bit value. Inline: the traffic generators draw once
+    /// per flow per cycle, which makes this the single hottest function
+    /// of a low-rate simulation.
+    std::uint64_t nextU64()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// The canonical u64-to-[0,1) conversion behind nextDouble. Exposed
+    /// so batched draw passes (the traffic generator) can convert
+    /// pre-fetched raw draws through the exact same expression.
+    static double doubleFromBits(std::uint64_t bits)
+    {
+        return static_cast<double>(bits >> 11) * 0x1.0p-53;
+    }
 
     /// Uniform double in [0, 1).
-    double nextDouble();
+    double nextDouble() { return doubleFromBits(nextU64()); }
 
     /// Uniform integer in [0, bound).
     std::uint64_t nextBelow(std::uint64_t bound);
@@ -39,7 +60,14 @@ class Rng {
     std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
 
     /// True with probability p.
-    bool bernoulli(double p);
+    bool bernoulli(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return nextDouble() < p;
+    }
 
     /// Pick a uniformly random element of a non-empty vector.
     template <typename T>
@@ -53,6 +81,11 @@ class Rng {
     Rng split();
 
   private:
+    static std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s_[4];
 };
 

@@ -1,0 +1,22 @@
+/// \file activity.h
+/// Activity-tracking worklist shared by the routers and the simulation
+/// engine. Routers arm themselves onto `pending` when an event gives them
+/// work (a flit arrival, an injector enqueue, a transfer start); the
+/// engine merges `pending` into its sorted active list once per cycle and
+/// ticks only the listed routers. A router with no armed work is skipped
+/// entirely — the cornerstone of the activity-driven hot path.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace taqos {
+
+struct ActivityWorklist {
+    /// Node ids armed since the engine last merged (unsorted, no
+    /// duplicates — each router tracks its own membership flag).
+    std::vector<NodeId> pending;
+};
+
+} // namespace taqos

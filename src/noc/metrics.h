@@ -84,4 +84,14 @@ struct SimMetrics {
     std::string summary() const;
 };
 
+/// Order-sensitive digest of a run's observable outcome; any behavioural
+/// drift in arbitration perturbs it. The shared definition behind every
+/// equivalence check: the golden-digest policy tests pin the base form
+/// (delivery/preemption/latency/per-flow throughput — its recorded
+/// values predate the extended fields and must stay stable), while the
+/// engine-equivalence tests and bench/ablation_hotpath use the extended
+/// form, which also folds in generation, injection attempts and hop
+/// accounting.
+std::uint64_t metricsDigest(const SimMetrics &m, bool extended = true);
+
 } // namespace taqos

@@ -1,6 +1,104 @@
 #include "noc/ports.h"
 
+#include "router/router.h"
+
 namespace taqos {
+
+void
+InjectorQueue::enqueue(NetPacket *pkt)
+{
+    const bool headChanged = q_.empty();
+    q_.push_back(pkt);
+    if (port != nullptr)
+        port->onInjectorEnqueue(*this, headChanged);
+}
+
+void
+InjectorQueue::enqueueFront(NetPacket *pkt)
+{
+    q_.push_front(pkt);
+    if (port != nullptr)
+        port->onInjectorEnqueue(*this, /*headChanged=*/true);
+}
+
+NetPacket *
+InjectorQueue::dequeue()
+{
+    TAQOS_ASSERT(!q_.empty(), "dequeue from empty injector queue");
+    NetPacket *pkt = q_.front();
+    q_.pop_front();
+    if (port != nullptr)
+        port->onInjectorDequeue(*this);
+    return pkt;
+}
+
+void
+InjectorQueue::noteWindowChange()
+{
+    if (port != nullptr)
+        port->onInjectorWindowChange(*this);
+}
+
+void
+InputPort::attachVcs()
+{
+    for (auto &vc : vcs)
+        vc.setPort(this);
+}
+
+void
+InputPort::onVcReserved(VirtualChannel &vc)
+{
+    ++occupied_;
+    ++mutEpoch_;
+    if (owner != nullptr)
+        owner->noteVcReserved(this, vcIndex(vc));
+}
+
+void
+InputPort::onVcFreed(VirtualChannel &vc)
+{
+    --occupied_;
+    ++mutEpoch_;
+    TAQOS_ASSERT(occupied_ >= 0, "occupancy underflow on %s", name.c_str());
+    if (owner != nullptr)
+        owner->noteVcFreed(this, vc);
+}
+
+void
+InputPort::onVcDrained(VirtualChannel &vc)
+{
+    ++mutEpoch_;
+    // Still occupied (the packet stays resident until its tail departs),
+    // but no longer an arbitration candidate here.
+    if (owner != nullptr)
+        owner->noteVcDrained(this, vc);
+}
+
+void
+InputPort::onInjectorEnqueue(InjectorQueue &inj, bool headChanged)
+{
+    ++queuedPkts_;
+    if (owner != nullptr)
+        owner->noteInjectorEnqueue(inj, headChanged);
+}
+
+void
+InputPort::onInjectorDequeue(InjectorQueue &inj)
+{
+    --queuedPkts_;
+    TAQOS_ASSERT(queuedPkts_ >= 0, "queued-packet underflow on %s",
+                 name.c_str());
+    if (owner != nullptr)
+        owner->noteInjectorDequeue(inj);
+}
+
+void
+InputPort::onInjectorWindowChange(InjectorQueue &inj)
+{
+    if (owner != nullptr)
+        owner->noteInjectorWindowChange(inj);
+}
 
 int
 InputPort::findFreeVc(Cycle now, bool rateCompliant)
@@ -22,6 +120,7 @@ InputPort::findFreeVc(Cycle now, bool rateCompliant)
         // immediately visible; the baseline models per-flow buffers deep
         // enough to never block.
         vcs.emplace_back();
+        vcs.back().setPort(this);
         return static_cast<int>(vcs.size()) - 1;
     }
     return -1;
@@ -70,6 +169,8 @@ OutputPort::startTransfer(NetPacket *pkt, int dropIdx, int dstVc, VcRef srcVc,
     xfer_.srcVc = srcVc;
     nextStart_ = now + static_cast<Cycle>(pkt->sizeFlits);
     pkt->addXfer(this);
+    if (owner != nullptr)
+        owner->noteXferStarted(xfer_.tailDepart);
 
     if (srcVc.port != nullptr)
         srcVc.port->vcs[static_cast<std::size_t>(srcVc.vc)].startDrain();
@@ -94,6 +195,8 @@ OutputPort::tickCompletion(Cycle now)
     }
     xfer_.active = false;
     xfer_.pkt = nullptr;
+    if (owner != nullptr)
+        owner->noteXferEnded();
 }
 
 double
@@ -118,6 +221,8 @@ OutputPort::cancelTransfer(Cycle now)
     xfer_.pkt = nullptr;
     if (nextStart_ > now + 1)
         nextStart_ = now + 1;
+    if (owner != nullptr)
+        owner->noteXferEnded();
     return wasted;
 }
 

@@ -10,6 +10,15 @@
 /// An InputPort owns the VC storage at the receiving end. Several input
 /// ports may share one crossbar input (MECS input arbiters, 4:1/3:1 row
 /// sharing); the shared switch port is modelled by XbarGroup occupancy.
+///
+/// Activity tracking: every state change that can alter an arbitration
+/// outcome flows through this layer — a VC reservation/release, an
+/// injector enqueue/dequeue, a transfer start/completion, a window-slot
+/// retire. Each hook maintains incremental occupancy counts on the port
+/// and notifies the owning Router so the activity-driven engine re-arms
+/// it (see router.h). Ports without an owner (terminal/handoff buffers,
+/// standalone unit-test fixtures) still keep their occupancy counts,
+/// which the engine uses to skip idle ejection scans.
 #pragma once
 
 #include <deque>
@@ -22,16 +31,50 @@
 
 namespace taqos {
 
+class InputPort;
+class Router;
+
 /// One traffic source (terminal or row input). The queue head is the only
 /// injectable packet; `outstanding` enforces the PVC retransmission window.
+/// All queue mutations go through the hook-aware methods so the owning
+/// router's activity state stays consistent (the deque itself is exposed
+/// read-only).
 struct InjectorQueue {
     FlowId flow = kInvalidFlow;
     NodeId node = kInvalidNode;
-    std::deque<NetPacket *> queue;
     int outstanding = 0;  ///< packets in network / awaiting ACK
     int windowLimit = 16; ///< per-source outstanding-packet window
 
+    /// Injection port this queue feeds (wired by Network::finalizeRouters;
+    /// null for staging queues outside the fabric — hooks are no-ops).
+    InputPort *port = nullptr;
+
+    /// Position among the port's injectors (static enumeration identity
+    /// for round-robin keys; set by Router::finalize).
+    int slotIdx = -1;
+
+    /// Output whose candidate list holds this queue's head-packet slot
+    /// (-1 = queue empty). Managed by the owning Router.
+    int headOut = -1;
+
     bool windowOpen() const { return outstanding < windowLimit; }
+
+    const std::deque<NetPacket *> &queue() const { return q_; }
+
+    /// Append a freshly generated (or handed-off) packet.
+    void enqueue(NetPacket *pkt);
+    /// Return a NACKed packet to the head of the queue (retransmission).
+    void enqueueFront(NetPacket *pkt);
+    /// Pop the head (it won injection arbitration, or is being restaged).
+    NetPacket *dequeue();
+
+    /// The retransmission window changed in the queue's favour (an ACK
+    /// retired a slot): a head packet stalled on `windowOpen()` may now be
+    /// injectable, so the owning router must re-arbitrate.
+    void noteWindowChange();
+
+  private:
+    std::deque<NetPacket *> q_;
 };
 
 /// A (possibly shared) crossbar input port: only one packet may stream
@@ -85,6 +128,10 @@ class InputPort {
     /// path, e.g. a DPS intermediate mux).
     XbarGroup *group = nullptr;
 
+    /// Router whose arbitration this port feeds (set by addInputPort;
+    /// null for terminal/handoff buffers owned by the engine).
+    Router *owner = nullptr;
+
     std::vector<VirtualChannel> vcs;
 
     /// Only for Kind::Injection: the sources multiplexed onto this port.
@@ -101,6 +148,51 @@ class InputPort {
     bool anyFreeVc(Cycle now, bool rateCompliant);
 
     int occupiedVcs() const;
+
+    // --- incremental activity state -----------------------------------
+
+    /// VCs currently not Free — maintained by the VirtualChannel hooks
+    /// once attachVcs() has run, so the engine and the candidate scan can
+    /// skip empty ports without touching the VC array.
+    int occupied() const { return occupied_; }
+
+    /// Packets queued across this injection port's injector queues.
+    int queuedPackets() const { return queuedPkts_; }
+
+    /// Point every VC of this port back at it (idempotent; called from
+    /// Network::finalizeRouters; unbounded-VC growth self-attaches).
+    void attachVcs();
+
+    /// Global enumeration base of this port's slots within its router's
+    /// input-major candidate order (the round-robin key of VC/injector
+    /// `k` is `enumBase + k + 1`; set by Router::finalize).
+    std::uint32_t enumBase = 0;
+
+    /// State-transition hooks (called by VirtualChannel / InjectorQueue).
+    /// `headChanged` reports whether the queue's front packet — the only
+    /// arbitration candidate — is a different packet afterwards.
+    void onVcReserved(VirtualChannel &vc);
+    void onVcFreed(VirtualChannel &vc);
+    void onVcDrained(VirtualChannel &vc);
+    void onInjectorEnqueue(InjectorQueue &inj, bool headChanged);
+    void onInjectorDequeue(InjectorQueue &inj);
+    void onInjectorWindowChange(InjectorQueue &inj);
+
+    /// Index of `vc` within this port's VC array.
+    int vcIndex(const VirtualChannel &vc) const
+    {
+        return static_cast<int>(&vc - vcs.data());
+    }
+
+    /// Bumped on every VC state transition. The preemption victim search
+    /// keys its "no victim here last time" memo on it (ports without an
+    /// owning router — terminals, handoffs — included).
+    std::uint64_t mutEpoch() const { return mutEpoch_; }
+
+  private:
+    int occupied_ = 0;
+    int queuedPkts_ = 0;
+    std::uint64_t mutEpoch_ = 0;
 };
 
 class OutputPort {
@@ -132,6 +224,10 @@ class OutputPort {
     std::string name;
     NodeId node = kInvalidNode;
     std::vector<Drop> drops;
+
+    /// Router this channel belongs to (set by addOutputPort; transfer
+    /// start/completion keeps its active-transfer count in step).
+    Router *owner = nullptr;
 
     /// Flow-state table this output charges/queries. Replicated mesh
     /// channels in the same direction form one logical output and share a

@@ -1,5 +1,7 @@
 #include "noc/vc.h"
 
+#include "noc/ports.h"
+
 namespace taqos {
 
 void
@@ -11,6 +13,8 @@ VirtualChannel::reserve(NetPacket *pkt, Cycle headArrival, Cycle tailArrival)
     pkt_ = pkt;
     headArrival_ = headArrival;
     tailArrival_ = tailArrival;
+    if (port_ != nullptr)
+        port_->onVcReserved(*this);
 }
 
 void
@@ -18,6 +22,8 @@ VirtualChannel::startDrain()
 {
     TAQOS_ASSERT(state_ == State::Reserved, "draining a VC that is not held");
     state_ = State::Draining;
+    if (port_ != nullptr)
+        port_->onVcDrained(*this);
 }
 
 void
@@ -29,6 +35,8 @@ VirtualChannel::free(Cycle visibleAt)
     headArrival_ = kNoCycle;
     tailArrival_ = kNoCycle;
     freeVisibleAt_ = visibleAt;
+    if (port_ != nullptr)
+        port_->onVcFreed(*this);
 }
 
 int

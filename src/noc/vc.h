@@ -13,6 +13,8 @@
 
 namespace taqos {
 
+class InputPort;
+
 class VirtualChannel {
   public:
     enum class State : std::uint8_t {
@@ -53,9 +55,24 @@ class VirtualChannel {
     /// (for preemption waste accounting).
     int flitsPresent(Cycle now) const;
 
+    /// Attach the port whose occupancy this VC feeds. State transitions
+    /// then notify the port (incremental occupancy counts + router
+    /// activity arming); a detached VC (unit tests, scratch buffers) is
+    /// tracked by nobody. Wired by Network::finalizeRouters.
+    void setPort(InputPort *port) { port_ = port; }
+    InputPort *port() const { return port_; }
+
+    /// Output whose candidate list holds this VC's arbitration slot
+    /// (-1 = none: Free, Draining, or owned by a slot-less port). Managed
+    /// by the owning Router.
+    int arbOutput() const { return arbOutput_; }
+    void setArbOutput(int out) { arbOutput_ = out; }
+
   private:
     State state_ = State::Free;
     NetPacket *pkt_ = nullptr;
+    InputPort *port_ = nullptr;
+    int arbOutput_ = -1;
     Cycle headArrival_ = kNoCycle;
     Cycle tailArrival_ = kNoCycle;
     Cycle freeVisibleAt_ = 0;

@@ -1,6 +1,7 @@
 #include "qos/flow_table.h"
 
 #include "common/assert.h"
+#include "router/router.h"
 
 namespace taqos {
 
@@ -12,30 +13,12 @@ FlowTable::FlowTable(const PvcParams &params, int numOutputs)
 {
 }
 
-std::size_t
-FlowTable::index(int out, FlowId flow) const
-{
-    TAQOS_ASSERT(out >= 0 && out < numOutputs_, "output %d out of range", out);
-    TAQOS_ASSERT(flow >= 0 && flow < params_->numFlows,
-                 "flow %d out of range", flow);
-    return static_cast<std::size_t>(out) *
-               static_cast<std::size_t>(params_->numFlows) +
-           static_cast<std::size_t>(flow);
-}
-
-std::uint64_t
-FlowTable::priorityOf(int out, FlowId flow) const
-{
-    // counter / rate == counter * sumWeights / weight; integer-scaled so
-    // equal-weight flows compare by raw counters.
-    const std::uint64_t count = counts_[index(out, flow)];
-    return count * params_->sumWeights() / params_->weightOf(flow);
-}
-
 void
 FlowTable::charge(int out, FlowId flow, int flits)
 {
     counts_[index(out, flow)] += static_cast<std::uint64_t>(flits);
+    if (owner_ != nullptr)
+        owner_->noteTableMutated(out);
 }
 
 void
@@ -44,6 +27,8 @@ FlowTable::uncharge(int out, FlowId flow, int flits)
     std::uint64_t &count = counts_[index(out, flow)];
     const auto amount = static_cast<std::uint64_t>(flits);
     count = count > amount ? count - amount : 0;
+    if (owner_ != nullptr)
+        owner_->noteTableMutated(out);
 }
 
 void
@@ -51,12 +36,8 @@ FlowTable::flush()
 {
     for (auto &c : counts_)
         c = 0;
-}
-
-std::uint64_t
-FlowTable::countOf(int out, FlowId flow) const
-{
-    return counts_[index(out, flow)];
+    if (owner_ != nullptr)
+        owner_->noteTableMutated(-1);
 }
 
 } // namespace taqos

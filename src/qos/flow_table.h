@@ -13,6 +13,8 @@
 
 namespace taqos {
 
+class Router;
+
 class FlowTable {
   public:
     FlowTable() = default;
@@ -20,9 +22,24 @@ class FlowTable {
 
     bool enabled() const { return params_ != nullptr; }
 
+    /// Attach the router whose arbitration reads this table. Every
+    /// mutation (charge/uncharge/flush) then invalidates its cached
+    /// candidate rankings — including refunds issued by a *remote*
+    /// router's preemption teardown, which reach the table through the
+    /// victim packet's charge log. Null (unit-test tables) disables the
+    /// notification.
+    void setOwner(Router *owner) { owner_ = owner; }
+
     /// Virtual-clock priority value of `flow` at output `out`
-    /// (lower = higher priority).
-    std::uint64_t priorityOf(int out, FlowId flow) const;
+    /// (lower = higher priority). Inline: read for every candidate of
+    /// every arbitration scan.
+    std::uint64_t priorityOf(int out, FlowId flow) const
+    {
+        // counter / rate == counter * sumWeights / weight; integer-scaled
+        // so equal-weight flows compare by raw counters.
+        const std::uint64_t count = counts_[index(out, flow)];
+        return count * params_->sumWeights() / params_->weightOf(flow);
+    }
 
     /// Charge `flits` of bandwidth to `flow` at output `out` (called when
     /// a transfer wins the output).
@@ -37,12 +54,25 @@ class FlowTable {
     /// Frame boundary: flush all counters.
     void flush();
 
-    std::uint64_t countOf(int out, FlowId flow) const;
+    std::uint64_t countOf(int out, FlowId flow) const
+    {
+        return counts_[index(out, flow)];
+    }
 
   private:
-    std::size_t index(int out, FlowId flow) const;
+    std::size_t index(int out, FlowId flow) const
+    {
+        TAQOS_ASSERT(out >= 0 && out < numOutputs_,
+                     "output %d out of range", out);
+        TAQOS_ASSERT(flow >= 0 && flow < params_->numFlows,
+                     "flow %d out of range", flow);
+        return static_cast<std::size_t>(out) *
+                   static_cast<std::size_t>(params_->numFlows) +
+               static_cast<std::size_t>(flow);
+    }
 
     const PvcParams *params_ = nullptr;
+    Router *owner_ = nullptr;
     int numOutputs_ = 0;
     std::vector<std::uint64_t> counts_; ///< [out * numFlows + flow]
 };

@@ -138,6 +138,10 @@ class GsfPolicy final : public QosPolicy {
     {
         return pkt.frameTag;
     }
+
+    /// The gate's head-frame advance (drain-driven or timed) resets the
+    /// per-flow injection budgets: stalled sources become admittable.
+    bool invalidatesOnFrameBoundary() const override { return true; }
 };
 
 /// Age-based arbitration: oldest packet first, network-wide. No flow
@@ -254,6 +258,11 @@ class GsfGate final : public SourceGate {
     }
 
     std::uint64_t headFrame() const { return head_; }
+
+    /// Admission decisions can only flip from "stall" to "admit" when the
+    /// head frame advances (budgets reset); charging within a window only
+    /// ever consumes budget.
+    std::uint64_t epoch() const override { return head_; }
 
   private:
     struct Window {

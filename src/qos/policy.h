@@ -68,6 +68,20 @@ class QosPolicy {
     /// flow tables, quotas and carried priorities on this boundary.
     virtual Cycle frameLen() const { return 0; }
 
+    /// Activity-driven engine: frame (or gate-window) boundaries rewrite
+    /// policy state that cached arbitration decisions were derived from,
+    /// so every router's cached winner set must be invalidated there.
+    /// True for PVC (the frame flush zeroes flow tables, quota counters
+    /// and carried priorities) and for GSF (a window advance can newly
+    /// admit gated source packets); policies whose priorities never
+    /// change behind the routers' backs keep the default. New QosPolicy
+    /// implementations with engine-global or time-flushed state MUST
+    /// override this (see README "Performance").
+    virtual bool invalidatesOnFrameBoundary() const
+    {
+        return frameLen() != 0;
+    }
+
     // --- per-router lifecycle ---
 
     /// Called from Router::finalize once the port structure exists.
@@ -135,6 +149,15 @@ class SourceGate {
 
     /// Per-cycle bookkeeping (frame advance / reclamation).
     virtual void rollover(Cycle now) = 0;
+
+    /// Monotonic counter that advances whenever gate state changes in a
+    /// way that can newly admit a previously-stalled packet (GSF: the
+    /// head-frame advance, which resets injection budgets). The engine
+    /// compares it around rollover() and invalidates every router's
+    /// cached arbitration state on a change, so source queues stalled on
+    /// admit() are re-examined exactly when the always-tick engine would
+    /// re-admit them.
+    virtual std::uint64_t epoch() const { return 0; }
 };
 
 std::unique_ptr<SourceGate> makeSourceGate(QosMode mode,

@@ -40,27 +40,6 @@ parseQosMode(const std::string &name)
     return std::nullopt;
 }
 
-std::uint32_t
-PvcParams::weightOf(FlowId flow) const
-{
-    if (weights.empty())
-        return 1;
-    TAQOS_ASSERT(flow >= 0 && flow < static_cast<FlowId>(weights.size()),
-                 "flow %d out of range", flow);
-    return weights[static_cast<std::size_t>(flow)];
-}
-
-std::uint64_t
-PvcParams::sumWeights() const
-{
-    if (weights.empty())
-        return static_cast<std::uint64_t>(numFlows);
-    std::uint64_t sum = 0;
-    for (auto w : weights)
-        sum += w;
-    return sum;
-}
-
 std::uint64_t
 PvcParams::quotaFlits(FlowId flow) const
 {

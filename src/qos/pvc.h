@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/assert.h"
 #include "common/types.h"
 
 namespace taqos {
@@ -94,8 +95,27 @@ struct PvcParams {
         return preemptGapFlits * sumWeights();
     }
 
-    std::uint32_t weightOf(FlowId flow) const;
-    std::uint64_t sumWeights() const;
+    /// Inline: the virtual-clock priority of every candidate at every
+    /// scan reads these, so they sit on the arbitration hot path.
+    std::uint32_t weightOf(FlowId flow) const
+    {
+        if (weights.empty())
+            return 1;
+        TAQOS_ASSERT(flow >= 0 &&
+                         flow < static_cast<FlowId>(weights.size()),
+                     "flow %d out of range", flow);
+        return weights[static_cast<std::size_t>(flow)];
+    }
+
+    std::uint64_t sumWeights() const
+    {
+        if (weights.empty())
+            return static_cast<std::uint64_t>(numFlows);
+        std::uint64_t sum = 0;
+        for (auto w : weights)
+            sum += w;
+        return sum;
+    }
 
     /// Reserved (non-preemptable) flits per frame for `flow`.
     std::uint64_t quotaFlits(FlowId flow) const;

@@ -14,6 +14,7 @@ Router::Router(NodeId node, QosMode mode, const PvcParams &params)
 InputPort *
 Router::addInputPort(std::unique_ptr<InputPort> port)
 {
+    port->owner = this;
     inputs_.push_back(std::move(port));
     return inputs_.back().get();
 }
@@ -21,8 +22,199 @@ Router::addInputPort(std::unique_ptr<InputPort> port)
 OutputPort *
 Router::addOutputPort(std::unique_ptr<OutputPort> port)
 {
+    port->owner = this;
     outputs_.push_back(std::move(port));
     return outputs_.back().get();
+}
+
+void
+Router::setWorklist(ActivityWorklist *wl)
+{
+    worklist_ = wl;
+    arm();
+}
+
+void
+Router::arm()
+{
+    if (worklist_ != nullptr && !inWorklist_) {
+        inWorklist_ = true;
+        worklist_->pending.push_back(node_);
+    }
+}
+
+void
+Router::markArbDirty()
+{
+    for (auto &d : outDirty_)
+        d = 1;
+    anyOutDirty_ = true;
+    // Frame flushes rewrite state the preemption victim search reads
+    // (flow tables, carried priorities): spoil its memo too.
+    ++mutEpoch_;
+}
+
+void
+Router::insertSlot(int outPort, const ArbSlot &slot)
+{
+    auto &list = slots_[static_cast<std::size_t>(outPort)];
+    // Keep enumeration order so a per-output scan compares candidates in
+    // exactly the sequence the legacy input-major scan would.
+    auto it = list.begin();
+    while (it != list.end() && it->key < slot.key)
+        ++it;
+    list.insert(it, slot);
+    dirtyOutput(outPort);
+}
+
+void
+Router::removeVcSlot(int outPort, const InputPort *in, int vcIdx)
+{
+    auto &list = slots_[static_cast<std::size_t>(outPort)];
+    for (auto it = list.begin(); it != list.end(); ++it) {
+        if (it->port == in && it->vc == vcIdx) {
+            list.erase(it);
+            dirtyOutput(outPort);
+            return;
+        }
+    }
+    TAQOS_ASSERT(false, "router %d: missing VC slot %s/%d on output %d",
+                 node_, in->name.c_str(), vcIdx, outPort);
+}
+
+void
+Router::removeInjectorSlot(int outPort, const InjectorQueue *inj)
+{
+    auto &list = slots_[static_cast<std::size_t>(outPort)];
+    for (auto it = list.begin(); it != list.end(); ++it) {
+        if (it->inj == inj) {
+            list.erase(it);
+            dirtyOutput(outPort);
+            return;
+        }
+    }
+    TAQOS_ASSERT(false, "router %d: missing injector slot on output %d",
+                 node_, outPort);
+}
+
+void
+Router::addVcSlot(InputPort *in, int vcIdx)
+{
+    VirtualChannel &vc = in->vcs[static_cast<std::size_t>(vcIdx)];
+    TAQOS_ASSERT(vc.arbOutput() < 0, "VC %s/%d already has a slot",
+                 in->name.c_str(), vcIdx);
+    const RouteEntry route = routeFor(*vc.packet());
+    ArbSlot slot;
+    slot.port = in;
+    slot.vc = vcIdx;
+    slot.key = in->enumBase + static_cast<std::uint32_t>(vcIdx) + 1;
+    slot.dropIdx = route.dropIdx;
+    insertSlot(route.outPort, slot);
+    vc.setArbOutput(route.outPort);
+}
+
+void
+Router::updateInjectorSlot(InjectorQueue &inj)
+{
+    if (inj.headOut >= 0) {
+        removeInjectorSlot(inj.headOut, &inj);
+        inj.headOut = -1;
+    }
+    if (inj.queue().empty())
+        return;
+    const RouteEntry route = routeFor(*inj.queue().front());
+    ArbSlot slot;
+    slot.port = inj.port;
+    slot.inj = &inj;
+    slot.key =
+        inj.port->enumBase + static_cast<std::uint32_t>(inj.slotIdx) + 1;
+    slot.dropIdx = route.dropIdx;
+    insertSlot(route.outPort, slot);
+    inj.headOut = route.outPort;
+}
+
+void
+Router::noteVcReserved(InputPort *in, int vcIdx)
+{
+    ++occupiedVcs_;
+    addVcSlot(in, vcIdx);
+    arm();
+}
+
+void
+Router::noteVcFreed(InputPort *in, VirtualChannel &vc)
+{
+    --occupiedVcs_;
+    TAQOS_ASSERT(occupiedVcs_ >= 0, "router %d VC-occupancy underflow",
+                 node_);
+    // A Draining VC already surrendered its slot; a Reserved one (kill,
+    // terminal ejection at a router-owned port) still holds it.
+    if (vc.arbOutput() >= 0) {
+        removeVcSlot(vc.arbOutput(), in, in->vcIndex(vc));
+        vc.setArbOutput(-1);
+    }
+}
+
+void
+Router::noteVcDrained(InputPort *in, VirtualChannel &vc)
+{
+    TAQOS_ASSERT(vc.arbOutput() >= 0, "draining VC without a slot");
+    removeVcSlot(vc.arbOutput(), in, in->vcIndex(vc));
+    vc.setArbOutput(-1);
+}
+
+void
+Router::noteInjectorEnqueue(InjectorQueue &inj, bool headChanged)
+{
+    ++queuedPkts_;
+    if (headChanged)
+        updateInjectorSlot(inj);
+    arm();
+}
+
+void
+Router::noteInjectorDequeue(InjectorQueue &inj)
+{
+    --queuedPkts_;
+    TAQOS_ASSERT(queuedPkts_ >= 0, "router %d queued-packet underflow",
+                 node_);
+    updateInjectorSlot(inj);
+}
+
+void
+Router::noteInjectorWindowChange(InjectorQueue &inj)
+{
+    // The head may have been stalled on the retransmission window.
+    if (inj.headOut >= 0)
+        dirtyOutput(inj.headOut);
+}
+
+void
+Router::noteXferStarted(Cycle tailDepart)
+{
+    ++activeXfers_;
+    if (tailDepart < nextCompletion_)
+        nextCompletion_ = tailDepart;
+    arm();
+}
+
+void
+Router::noteXferEnded()
+{
+    --activeXfers_;
+    TAQOS_ASSERT(activeXfers_ >= 0, "router %d transfer-count underflow",
+                 node_);
+}
+
+void
+Router::noteTableMutated(int tableIdx)
+{
+    if (tableIdx < 0) {
+        markArbDirty();
+        return;
+    }
+    for (int o : tableOuts_[static_cast<std::size_t>(tableIdx)])
+        dirtyOutput(o);
 }
 
 XbarGroup *
@@ -52,10 +244,38 @@ Router::finalize()
     // Per-flow bandwidth state exists only for the policies that schedule
     // by it: PVC, the per-flow queueing reference (same virtual clock),
     // and WRR (round-count meter).
-    if (policy_->usesFlowTable())
+    if (policy_->usesFlowTable()) {
         flowTable_ = FlowTable(*params_, numTables);
+        flowTable_.setOwner(this);
+    }
     best_.resize(outputs_.size());
     policy_->init(static_cast<int>(outputs_.size()));
+
+    // Activity-tracking structure. Enumeration bases reproduce the
+    // legacy input-major candidate numbering (the round-robin keys);
+    // under unbounded per-flow VCs later ports' live numbering can
+    // drift from these static bases, but the rrKey is only decisive for
+    // the rotating no-qos arbiter, whose VC structure is static.
+    std::uint32_t base = 0;
+    for (const auto &in : inputs_) {
+        in->enumBase = base;
+        if (in->kind == InputPort::Kind::Injection) {
+            for (std::size_t k = 0; k < in->injectors.size(); ++k)
+                in->injectors[k]->slotIdx = static_cast<int>(k);
+            base += static_cast<std::uint32_t>(in->injectors.size());
+        } else {
+            base += static_cast<std::uint32_t>(in->vcs.size());
+        }
+    }
+    slots_.assign(outputs_.size(), {});
+    outDirty_.assign(outputs_.size(), 1);
+    outWake_.assign(outputs_.size(), 0);
+    preemptMemo_.assign(outputs_.size(), {});
+    tableOuts_.assign(static_cast<std::size_t>(numTables), {});
+    for (std::size_t o = 0; o < outputs_.size(); ++o) {
+        tableOuts_[static_cast<std::size_t>(outputs_[o]->tableIdx)]
+            .push_back(static_cast<int>(o));
+    }
 }
 
 RouteEntry
@@ -106,9 +326,9 @@ Router::collectCandidates(TickContext &ctx)
         if (in->kind == InputPort::Kind::Injection) {
             for (InjectorQueue *inj : in->injectors) {
                 ++enumIdx;
-                if (inj->queue.empty())
+                if (inj->queue().empty())
                     continue;
-                NetPacket *pkt = inj->queue.front();
+                NetPacket *pkt = inj->queue().front();
                 // The retransmission window gates new injections; a NACKed
                 // packet already owns its slot.
                 if (!pkt->inWindow && !inj->windowOpen())
@@ -164,6 +384,66 @@ Router::collectCandidates(TickContext &ctx)
     }
 }
 
+void
+Router::collectOutput(int outPort, TickContext &ctx)
+{
+    Candidate &best = best_[static_cast<std::size_t>(outPort)];
+    best.pkt = nullptr;
+
+    // Earliest purely time-driven change to this output's candidate set.
+    // Event-driven changes (frees, enqueues, table charges, window/gate
+    // state) dirty the output through the hooks instead.
+    Cycle wake = kNoCycle;
+
+    for (const ArbSlot &slot : slots_[static_cast<std::size_t>(outPort)]) {
+        const Cycle ready =
+            static_cast<Cycle>(slot.port->pipelineDelay - 1);
+        NetPacket *pkt = nullptr;
+        if (slot.inj != nullptr) {
+            pkt = slot.inj->queue().front();
+            if (!pkt->inWindow && !slot.inj->windowOpen())
+                continue;
+            if (ctx.now < pkt->queuedCycle + ready) {
+                const Cycle at = pkt->queuedCycle + ready;
+                if (at < wake)
+                    wake = at;
+                continue;
+            }
+            if (ctx.gate != nullptr && !ctx.gate->admit(*pkt, ctx.now))
+                continue;
+        } else {
+            const VirtualChannel &vc =
+                slot.port->vcs[static_cast<std::size_t>(slot.vc)];
+            TAQOS_ASSERT(vc.state() == VirtualChannel::State::Reserved,
+                         "stale arbitration slot on %s/%d",
+                         slot.port->name.c_str(), slot.vc);
+            if (!vc.arrived(ctx.now) ||
+                ctx.now < vc.headArrival() + ready) {
+                const Cycle at = vc.headArrival() + ready;
+                if (at < wake)
+                    wake = at;
+                continue;
+            }
+            pkt = vc.packet();
+        }
+
+        Candidate cand;
+        cand.pkt = pkt;
+        cand.port = slot.port;
+        cand.vc = slot.vc;
+        cand.inj = slot.inj;
+        cand.age = pkt->genCycle;
+        cand.rrKey = slot.key;
+        cand.outPort = outPort;
+        cand.dropIdx = slot.dropIdx;
+        cand.prio = priorityFor(*pkt, *slot.port, outPort);
+        if (best.pkt == nullptr || betterThan(cand, best, outPort))
+            best = cand;
+    }
+
+    outWake_[static_cast<std::size_t>(outPort)] = wake;
+}
+
 bool
 Router::validate(const Candidate &cand) const
 {
@@ -174,7 +454,8 @@ Router::validate(const Candidate &cand) const
                vc.packet() == cand.pkt &&
                cand.pkt->state == PacketState::InFlight;
     }
-    return !cand.inj->queue.empty() && cand.inj->queue.front() == cand.pkt &&
+    return !cand.inj->queue().empty() &&
+           cand.inj->queue().front() == cand.pkt &&
            cand.pkt->state == PacketState::Queued;
 }
 
@@ -229,7 +510,7 @@ Router::tryGrant(Candidate &cand, TickContext &ctx)
     pkt->blockedSince = kNoCycle;
 
     if (fromInjection) {
-        cand.inj->queue.pop_front();
+        cand.inj->dequeue();
         pkt->beginAttempt(ctx.now);
         // The compliance mark protects this packet at hops that reuse the
         // source-computed priority (DPS pass-through). Stamp it from the
@@ -275,6 +556,10 @@ Router::tryGrant(Candidate &cand, TickContext &ctx)
 
     policy_->onGrant(cand.outPort,
                      ArbKey{cand.prio, cand.age, pkt->flow, cand.rrKey});
+    // The grant rotated policy state and consumed a candidate: rescan
+    // this output next cycle. (The slot hooks above already imply it;
+    // kept explicit because onGrant state is invisible to them.)
+    dirtyOutput(cand.outPort);
 }
 
 bool
@@ -319,6 +604,19 @@ Router::tryPreempt(const Candidate &cand, InputPort *down, TickContext &ctx)
     const int tbl =
         outputs_[static_cast<std::size_t>(cand.outPort)]->tableIdx;
 
+    // A victimless search is pure, and its outcome depends only on the
+    // requester, its priority, and the buffered-packet/table state on
+    // both sides of the contested channel — all tracked by the mutation
+    // epochs. A blocked requester retries every cycle past the wait
+    // threshold; without the memo those retries rescan identical state.
+    PreemptMemo &memo =
+        preemptMemo_[static_cast<std::size_t>(cand.outPort)];
+    if (!ctx.forceScan && memo.pkt == cand.pkt && memo.prio == cand.prio &&
+        memo.down == down && memo.selfEpoch == mutEpoch_ &&
+        memo.downEpoch == down->mutEpoch()) {
+        return false;
+    }
+
     NetPacket *victim = nullptr;
     std::uint64_t victimPrio = 0;
 
@@ -349,20 +647,43 @@ Router::tryPreempt(const Candidate &cand, InputPort *down, TickContext &ctx)
             continue;
         consider(vc.packet());
     }
-    // Rival packets buffered at this router and routed to the same output.
-    for (const auto &inPtr : inputs_) {
-        for (const auto &vc : inPtr->vcs) {
-            if (vc.state() != VirtualChannel::State::Reserved)
-                continue;
-            NetPacket *pkt = vc.packet();
-            if (pkt == nullptr || routeFor(*pkt).outPort != cand.outPort)
-                continue;
-            consider(pkt);
+    // Rival packets buffered at this router and routed to the same
+    // output. The cached slot list of the contested output holds exactly
+    // that set, in the enumeration order the full scan would visit (the
+    // equal-priority tie favours the first-seen victim, so the order is
+    // semantically load-bearing); the legacy reference engine takes the
+    // full scan instead.
+    if (ctx.forceScan) {
+        for (const auto &inPtr : inputs_) {
+            for (const auto &vc : inPtr->vcs) {
+                if (vc.state() != VirtualChannel::State::Reserved)
+                    continue;
+                NetPacket *pkt = vc.packet();
+                if (pkt == nullptr ||
+                    routeFor(*pkt).outPort != cand.outPort) {
+                    continue;
+                }
+                consider(pkt);
+            }
+        }
+    } else {
+        for (const ArbSlot &slot :
+             slots_[static_cast<std::size_t>(cand.outPort)]) {
+            if (slot.inj != nullptr)
+                continue; // source-queued packets hold no buffer here
+            consider(slot.port->vcs[static_cast<std::size_t>(slot.vc)]
+                         .packet());
         }
     }
 
-    if (victim == nullptr)
+    if (victim == nullptr) {
+        memo.pkt = cand.pkt;
+        memo.prio = cand.prio;
+        memo.down = down;
+        memo.selfEpoch = mutEpoch_;
+        memo.downEpoch = down->mutEpoch();
         return false;
+    }
     killPacket(victim, ctx);
     return true;
 }
@@ -414,14 +735,60 @@ Router::killPacket(NetPacket *victim, TickContext &ctx)
 void
 Router::tickCompletions(Cycle now)
 {
-    for (const auto &out : outputs_)
+    // nextCompletion_ is a lower bound on the earliest active transfer's
+    // tail departure (a cancellation can only raise the true minimum), so
+    // ticks before it are exact no-ops for every output.
+    if (activeXfers_ == 0 || now < nextCompletion_)
+        return;
+    Cycle next = kNoCycle;
+    for (const auto &out : outputs_) {
         out->tickCompletion(now);
+        const OutputPort::Transfer &xfer = out->transfer();
+        if (xfer.active && xfer.tailDepart < next)
+            next = xfer.tailDepart;
+    }
+    nextCompletion_ = next;
 }
 
 void
 Router::tickArbitrate(TickContext &ctx)
 {
-    collectCandidates(ctx);
+    if (ctx.forceScan) {
+        collectCandidates(ctx);
+        for (std::size_t o = 0; o < outputs_.size(); ++o) {
+            if (best_[o].pkt != nullptr)
+                tryGrant(best_[o], ctx);
+        }
+        return;
+    }
+
+    // A cached winner set stays valid until an event dirties its output
+    // or a scheduled eligibility comes due. All scans run before any
+    // grant (the legacy collect-then-grant split), so a grant's side
+    // effects never feed a same-cycle rescan the always-tick engine
+    // would not have done; grant attempts on cached winners re-run every
+    // cycle regardless, so time-driven grant conditions (link free,
+    // credit visibility, crossbar slots, preemption wait thresholds) are
+    // evaluated on exactly the cycles the always-tick engine would.
+    if (anyOutDirty_ || ctx.now >= minWake_) {
+        Cycle minWake = kNoCycle;
+        int winners = 0;
+        for (std::size_t o = 0; o < outputs_.size(); ++o) {
+            if (outDirty_[o] != 0 || ctx.now >= outWake_[o]) {
+                collectOutput(static_cast<int>(o), ctx);
+                outDirty_[o] = 0;
+            }
+            if (outWake_[o] < minWake)
+                minWake = outWake_[o];
+            if (best_[o].pkt != nullptr)
+                ++winners;
+        }
+        anyOutDirty_ = false;
+        minWake_ = minWake;
+        winners_ = winners;
+    }
+    if (winners_ == 0)
+        return;
     for (std::size_t o = 0; o < outputs_.size(); ++o) {
         if (best_[o].pkt != nullptr)
             tryGrant(best_[o], ctx);

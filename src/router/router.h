@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "noc/activity.h"
 #include "noc/metrics.h"
 #include "noc/packet.h"
 #include "noc/ports.h"
@@ -56,6 +57,10 @@ struct TickContext {
     /// Source-side policy gate (GSF frame budgets); null for policies
     /// without an injection gate.
     SourceGate *gate = nullptr;
+    /// Legacy always-tick engine: rescan candidates every cycle and take
+    /// no activity shortcuts (the bit-identity reference the activity-
+    /// driven engine is checked against).
+    bool forceScan = false;
 };
 
 class Router {
@@ -107,6 +112,62 @@ class Router {
     /// failures directly.
     void killPacket(NetPacket *victim, TickContext &ctx);
 
+    // --- activity tracking (the activity-driven engine) ---------------
+    //
+    // Two layers. (1) Engine worklist: the engine ticks only routers on
+    // the shared worklist; a router re-arms itself when an event gives it
+    // work. (2) Per-output candidate cache: each output keeps the list of
+    // arbitration slots currently routed to it — a Reserved VC, or an
+    // injector queue's head packet — maintained incrementally by the port
+    // hooks, plus a dirty flag and a time-driven wake. An output's
+    // candidate scan reruns only when an event dirtied its inputs or a
+    // scheduled eligibility (head arrival + pipeline, injection
+    // readiness) has come due; everything else re-attempts the cached
+    // winner, which is exactly what the always-tick engine would
+    // recompute. All scans of a cycle run before any grant, mirroring the
+    // legacy collect-then-grant phases. See README "Performance".
+
+    /// Register with the engine worklist (arms the router immediately).
+    void setWorklist(ActivityWorklist *wl);
+    bool inWorklist() const { return inWorklist_; }
+    /// Engine sweep: drop an idle router from the worklist.
+    void leaveWorklist() { inWorklist_ = false; }
+
+    /// Any work at all: an occupied VC (even one still arriving), a
+    /// queued source packet (even a gated one), or an in-flight transfer.
+    /// A router with none is a provable no-op and is skipped entirely.
+    bool hasWork() const
+    {
+        return occupiedVcs_ + queuedPkts_ + activeXfers_ > 0;
+    }
+
+    /// Policy state changed behind every output's back (frame flush, GSF
+    /// window advance): invalidate all cached winner sets.
+    void markArbDirty();
+
+    // Hooks from the port layer (see ports.h). Work-creating events arm
+    // the router onto the worklist; work-neutral events only dirty the
+    // affected outputs (the `hasWork() implies inWorklist()` invariant
+    // makes that sound).
+    void noteVcReserved(InputPort *in, int vcIdx);
+    void noteVcFreed(InputPort *in, VirtualChannel &vc);
+    void noteVcDrained(InputPort *in, VirtualChannel &vc);
+    void noteInjectorEnqueue(InjectorQueue &inj, bool headChanged);
+    void noteInjectorDequeue(InjectorQueue &inj);
+    void noteInjectorWindowChange(InjectorQueue &inj);
+    /// An output began streaming; its tail departs at `tailDepart`.
+    void noteXferStarted(Cycle tailDepart);
+    void noteXferEnded(); ///< transfer completed or cancelled
+    /// Flow-table mutation at table `tableIdx` (-1 = all tables): the
+    /// virtual-clock priorities of every output charging that table are
+    /// stale. Replicated mesh channels share one table, so one charge can
+    /// dirty several outputs.
+    void noteTableMutated(int tableIdx);
+
+    int occupiedVcCount() const { return occupiedVcs_; }
+    int queuedPacketCount() const { return queuedPkts_; }
+    int activeXferCount() const { return activeXfers_; }
+
   private:
     struct Candidate {
         NetPacket *pkt = nullptr;
@@ -120,7 +181,35 @@ class Router {
         int dropIdx = 0;
     };
 
+    /// One cached arbitration slot: a Reserved VC (vc >= 0) or an
+    /// injector queue's head packet (inj != nullptr), routed to the
+    /// output whose list holds it.
+    struct ArbSlot {
+        InputPort *port = nullptr;
+        int vc = -1;
+        InjectorQueue *inj = nullptr;
+        std::uint32_t key = 0; ///< static enumeration position (rrKey)
+        int dropIdx = 0;
+    };
+
+    /// Legacy full scan: every input, every VC, every injector, all
+    /// outputs at once (the always-tick reference path).
     void collectCandidates(TickContext &ctx);
+    /// Activity path: re-derive one output's winner from its slot list.
+    void collectOutput(int outPort, TickContext &ctx);
+
+    void addVcSlot(InputPort *in, int vcIdx);
+    void updateInjectorSlot(InjectorQueue &inj);
+    void insertSlot(int outPort, const ArbSlot &slot);
+    void removeVcSlot(int outPort, const InputPort *in, int vcIdx);
+    void removeInjectorSlot(int outPort, const InjectorQueue *inj);
+    void dirtyOutput(int outPort)
+    {
+        outDirty_[static_cast<std::size_t>(outPort)] = 1;
+        anyOutDirty_ = true;
+        ++mutEpoch_;
+    }
+
     bool betterThan(const Candidate &a, const Candidate &b, int outPort) const;
     void tryGrant(Candidate &cand, TickContext &ctx);
     bool tryPreempt(const Candidate &cand, InputPort *down, TickContext &ctx);
@@ -143,8 +232,57 @@ class Router {
     std::vector<RouteEntry> routes_;
     FlowTable flowTable_;
 
-    /// Best candidate per output for the current cycle.
+    /// Best candidate per output; cached between cycles and re-derived
+    /// only when the output is dirty or its wake has come due.
     std::vector<Candidate> best_;
+
+    /// Per-output cached candidate state. `slots_[o]` is kept sorted by
+    /// enumeration key, so a scan visits candidates in exactly the order
+    /// the legacy input-major scan would. `outWake_[o]` is the earliest
+    /// cycle a currently-ineligible slot matures by time alone (kNoCycle
+    /// = none pending); it starts at 0 so the first tick scans.
+    std::vector<std::vector<ArbSlot>> slots_;
+    std::vector<std::uint8_t> outDirty_;
+    std::vector<Cycle> outWake_;
+    /// tableIdx -> outputs charging it (replicated channels share).
+    std::vector<std::vector<int>> tableOuts_;
+
+    /// Router-level summaries for the per-cycle fast path: OR of
+    /// outDirty_, min of outWake_, and the number of outputs holding a
+    /// cached winner — when all three say "nothing to do", tickArbitrate
+    /// is a provable no-op and returns immediately.
+    bool anyOutDirty_ = true;
+    Cycle minWake_ = 0;
+    int winners_ = 0;
+
+    /// Lower bound on the earliest in-flight transfer completion
+    /// (kNoCycle when none): completion ticks before it are exact no-ops.
+    Cycle nextCompletion_ = kNoCycle;
+
+    /// Mutation epoch: bumped by every state change the preemption victim
+    /// search can observe on this router's side (slot changes, table
+    /// charges, frame flushes). A victimless search whose inputs —
+    /// requester, its priority, this epoch, and the contested downstream
+    /// port's epoch — are unchanged must fail again, so it is skipped.
+    std::uint64_t mutEpoch_ = 0;
+
+    /// Last victimless preemption search per output (activity mode).
+    struct PreemptMemo {
+        const NetPacket *pkt = nullptr;
+        std::uint64_t prio = 0;
+        const InputPort *down = nullptr;
+        std::uint64_t selfEpoch = 0;
+        std::uint64_t downEpoch = 0;
+    };
+    std::vector<PreemptMemo> preemptMemo_;
+
+    ActivityWorklist *worklist_ = nullptr;
+    bool inWorklist_ = false;
+    int occupiedVcs_ = 0;
+    int queuedPkts_ = 0;
+    int activeXfers_ = 0;
+
+    void arm();
 };
 
 } // namespace taqos

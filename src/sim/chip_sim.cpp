@@ -24,16 +24,15 @@ ChipTrafficSource::tick(Cycle now, PacketPool &pool,
     gen_.tick(now, pool, scratch_, metrics);
     const int perNode = net_.cfg().injectorsPerNode;
     for (std::size_t f = 0; f < scratch_.size(); ++f) {
-        auto &staged = scratch_[f].queue;
-        while (!staged.empty()) {
-            NetPacket *pkt = staged.front();
-            staged.pop_front();
+        InjectorQueue &staged = scratch_[f];
+        while (!staged.queue().empty()) {
+            NetPacket *pkt = staged.dequeue();
             // Terminal flows originate at the column node itself; row
             // flows at their compute node.
             const bool terminal = static_cast<int>(f) % perNode == 0;
             InjectorQueue &origin =
                 terminal ? injectors[f] : net_.sourceQueue(pkt->flow);
-            if (origin.queue.size() >= traffic_.maxQueueDepth) {
+            if (origin.queue().size() >= traffic_.maxQueueDepth) {
                 // Bounded memory far past saturation: undo the
                 // generator's accounting, as its own suppression would.
                 ++suppressed_;
@@ -51,7 +50,7 @@ ChipTrafficSource::tick(Cycle now, PacketPool &pool,
                 pkt->dst =
                     net_.columnNodeId(net_.cfg().nodeOfFlow(pkt->flow));
             }
-            origin.queue.push_back(pkt);
+            origin.enqueue(pkt);
         }
     }
 }
@@ -71,6 +70,8 @@ ChipSim::tickTerminals()
 {
     NetSim::tickTerminals();
     for (InputPort *port : network().auxPorts()) {
+        if (activityDriven_ && port->occupied() == 0)
+            continue;
         for (int v = 0; v < static_cast<int>(port->vcs.size()); ++v) {
             VirtualChannel &vc = port->vcs[static_cast<std::size_t>(v)];
             if (vc.state() != VirtualChannel::State::Reserved)
@@ -105,11 +106,13 @@ ChipSim::handoff(NetPacket *pkt, InputPort *port, int vcIdx)
     pkt->inWindow = false;
     --origin.outstanding;
     TAQOS_ASSERT(origin.outstanding >= 0, "row window underflow");
+    // The freed row-window slot may unblock the compute node's queue.
+    origin.noteWindowChange();
 
     pkt->state = PacketState::Queued;
     pkt->queuedCycle = now_;
     pkt->dst = pkt->finalDst;
-    net().injector(pkt->flow).queue.push_back(pkt);
+    net().injector(pkt->flow).enqueue(pkt);
     ++handoffs_;
 }
 

@@ -1,5 +1,7 @@
 #include "sim/net_sim.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
 #include "router/router.h"
 
@@ -29,12 +31,56 @@ NetSim::setMeasureWindow(Cycle start, Cycle end)
 }
 
 void
+NetSim::setActivityDriven(bool on)
+{
+    TAQOS_ASSERT(now_ == 0, "engine selection must precede the first step");
+    activityDriven_ = on;
+}
+
+void
+NetSim::mergeWorklist()
+{
+    auto &pending = net_->worklist().pending;
+    if (pending.empty())
+        return;
+    // Restore node order: the always-tick engine visits routers by
+    // ascending node id, and same-cycle mutations (a grant at router A
+    // dirtying router B) must stay ordered identically.
+    std::sort(pending.begin(), pending.end());
+    const auto mid = static_cast<std::ptrdiff_t>(active_.size());
+    active_.insert(active_.end(), pending.begin(), pending.end());
+    std::inplace_merge(active_.begin(), active_.begin() + mid,
+                       active_.end());
+    pending.clear();
+}
+
+void
+NetSim::sweepWorklist()
+{
+    std::erase_if(active_, [this](NodeId n) {
+        Router *r = net_->router(n);
+        if (r->hasWork())
+            return false;
+        r->leaveWorklist();
+        return true;
+    });
+}
+
+void
 NetSim::processFrameBoundary()
 {
     // Source-gated policies (GSF) advance their global frame window on
-    // their own schedule (drain-driven early reclamation).
-    if (gate_ != nullptr)
+    // their own schedule (drain-driven early reclamation). A window
+    // advance resets injection budgets — gated source packets may become
+    // admissible — so cached arbitration state network-wide is stale.
+    if (gate_ != nullptr) {
+        const std::uint64_t epoch = gate_->epoch();
         gate_->rollover(now_);
+        if (gate_->epoch() != epoch &&
+            net_->policyTraits().invalidatesOnFrameBoundary()) {
+            net_->invalidateArbitration();
+        }
+    }
 
     const Cycle frame = net_->policyTraits().frameLen();
     if (frame == 0 || now_ == 0 || now_ % frame != 0)
@@ -61,6 +107,11 @@ NetSim::processFrameBoundary()
     }
     for (InputPort *port : net_->auxPorts())
         clearPort(port);
+
+    // The flush rewrote the state cached winner rankings were computed
+    // from (flow tables, quota counters, carried priorities).
+    if (net_->policyTraits().invalidatesOnFrameBoundary())
+        net_->invalidateArbitration();
 }
 
 void
@@ -77,7 +128,7 @@ NetSim::processAcks()
                          "NACK for packet not dropped");
             pkt->state = PacketState::Queued;
             pkt->queuedCycle = now_;
-            inj.queue.push_front(pkt);
+            inj.enqueueFront(pkt);
         } else {
             TAQOS_ASSERT(pkt->state == PacketState::Delivered,
                          "ACK for undelivered packet");
@@ -85,6 +136,9 @@ NetSim::processAcks()
             pkt->inWindow = false;
             --inj.outstanding;
             TAQOS_ASSERT(inj.outstanding >= 0, "window underflow");
+            // The retired slot may unblock a head packet stalled on the
+            // retransmission window.
+            inj.noteWindowChange();
             pool_.release(pkt);
         }
     }
@@ -123,6 +177,10 @@ NetSim::tickTerminals()
 {
     for (NodeId n = 0; n < net_->numNodes(); ++n) {
         InputPort *port = net_->termPort(n);
+        // Incremental-occupancy shortcut: an empty ejection buffer has
+        // nothing to deliver (exact — occupied()==0 means every VC Free).
+        if (activityDriven_ && port->occupied() == 0)
+            continue;
         for (int v = 0; v < static_cast<int>(port->vcs.size()); ++v) {
             VirtualChannel &vc = port->vcs[static_cast<std::size_t>(v)];
             if (vc.state() != VirtualChannel::State::Reserved)
@@ -147,12 +205,31 @@ NetSim::step()
     ctx.ack = &ack_;
     ctx.metrics = &metrics_;
     ctx.gate = gate_.get();
-    for (NodeId n = 0; n < net_->numNodes(); ++n)
-        net_->router(n)->tickCompletions(now_);
-    for (NodeId n = 0; n < net_->numNodes(); ++n)
-        net_->router(n)->tickArbitrate(ctx);
+    ctx.forceScan = !activityDriven_;
+
+    if (activityDriven_) {
+        // Tick only routers with work. Arms raised by the phases above
+        // (NACK requeues, fresh traffic) are folded in first; arms raised
+        // *during* the router phases (a grant reserving a downstream VC,
+        // a handoff enqueue in the terminal phase) target state that is
+        // not actionable until next cycle — a previously-idle router's
+        // tick this cycle would be a no-op — so they join then, exactly
+        // matching the always-tick schedule.
+        mergeWorklist();
+        for (NodeId n : active_)
+            net_->router(n)->tickCompletions(now_);
+        for (NodeId n : active_)
+            net_->router(n)->tickArbitrate(ctx);
+    } else {
+        for (NodeId n = 0; n < net_->numNodes(); ++n)
+            net_->router(n)->tickCompletions(now_);
+        for (NodeId n = 0; n < net_->numNodes(); ++n)
+            net_->router(n)->tickArbitrate(ctx);
+    }
 
     tickTerminals();
+    if (activityDriven_)
+        sweepWorklist();
     ++now_;
 }
 
@@ -217,6 +294,42 @@ NetSim::checkInvariants() const
         TAQOS_ASSERT(inj.outstanding >= 0 &&
                          inj.outstanding <= inj.windowLimit,
                      "window counter out of bounds for flow %d", inj.flow);
+    }
+
+    // Activity-tracking consistency: the incremental counts must agree
+    // with a full rescan, and every router with work must be armed (a
+    // live router missing from the worklist would silently freeze).
+    for (NodeId n = 0; n < net->numNodes(); ++n) {
+        const Router *r = net->router(n);
+        int occupied = 0;
+        int queued = 0;
+        for (const auto &in : r->inputs()) {
+            TAQOS_ASSERT(in->occupied() == in->occupiedVcs(),
+                         "port %s occupancy count drifted (%d vs %d)",
+                         in->name.c_str(), in->occupied(),
+                         in->occupiedVcs());
+            occupied += in->occupied();
+            for (const InjectorQueue *inj : in->injectors)
+                queued += static_cast<int>(inj->queue().size());
+        }
+        TAQOS_ASSERT(r->occupiedVcCount() == occupied,
+                     "router %d VC-occupancy count drifted (%d vs %d)", n,
+                     r->occupiedVcCount(), occupied);
+        TAQOS_ASSERT(r->queuedPacketCount() == queued,
+                     "router %d queued-packet count drifted (%d vs %d)", n,
+                     r->queuedPacketCount(), queued);
+        TAQOS_ASSERT(!activityDriven_ || !r->hasWork() || r->inWorklist(),
+                     "router %d has work but is not armed", n);
+    }
+    for (NodeId n = 0; n < net->numNodes(); ++n) {
+        const InputPort *term = net->termPort(n);
+        TAQOS_ASSERT(term->occupied() == term->occupiedVcs(),
+                     "terminal %d occupancy count drifted", n);
+    }
+    for (const InputPort *port : net->auxPorts()) {
+        TAQOS_ASSERT(port->occupied() == port->occupiedVcs(),
+                     "aux port %s occupancy count drifted",
+                     port->name.c_str());
     }
 }
 

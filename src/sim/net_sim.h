@@ -13,9 +13,21 @@
 ///   4. Router ticks: transfer completions, then VC allocation /
 ///      preemption per output.
 ///   5. Terminal ejection: packets whose tail has arrived are delivered.
+///
+/// By default the engine is *activity-driven*: phase 4 visits only the
+/// routers on the shared worklist (those holding an occupied VC, a queued
+/// source packet, or an in-flight transfer — see Router::hasWork), and
+/// within a ticked router the candidate scan reruns only when an event
+/// invalidated the cached winner set. Both optimizations are exact —
+/// skipped work is provably a no-op — so the engine is bit-identical to
+/// the always-tick reference (setActivityDriven(false)), which the
+/// golden-digest and toggle-equivalence tests pin. Engine phases 1-3 and
+/// 5 always run: time-driven policy state (the GSF frame window) must
+/// advance even when every router is idle.
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "noc/metrics.h"
 #include "noc/packet.h"
@@ -51,6 +63,13 @@ class NetSim {
 
     /// True when no packet is live (queued, in flight, or awaiting ACK).
     bool drained() const { return pool_.liveCount() == 0; }
+
+    /// Select the engine: activity-driven (default) or the legacy
+    /// always-tick reference that visits every router every cycle. The
+    /// two are bit-identical; the reference exists for equivalence tests
+    /// and the hot-path ablation. Call before the first step.
+    void setActivityDriven(bool on);
+    bool activityDriven() const { return activityDriven_; }
 
     /// Open the measurement window [start, end): latency is recorded for
     /// packets generated inside it, per-flow throughput for deliveries
@@ -89,6 +108,16 @@ class NetSim {
     PacketPool pool_;
     SimMetrics metrics_;
     Cycle now_ = 0;
+    bool activityDriven_ = true;
+
+  private:
+    /// Fold newly-armed routers into the sorted active list (node order —
+    /// the same relative order the always-tick engine visits).
+    void mergeWorklist();
+    /// Drop routers whose work drained this cycle.
+    void sweepWorklist();
+
+    std::vector<NodeId> active_; ///< sorted ids of routers with work
 };
 
 } // namespace taqos

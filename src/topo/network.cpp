@@ -103,6 +103,31 @@ Network::finalizeRouters()
 {
     for (auto &r : routers_)
         r->finalize();
+
+    // Wire the activity tracking. Port owners were set at addInput/
+    // OutputPort time; here every VC learns its port (occupancy counts),
+    // every injector queue learns its injection port (enqueue arming),
+    // and every router joins the worklist — conservatively armed, so the
+    // engine's first sweep observes real state before skipping anything.
+    for (auto &r : routers_) {
+        for (const auto &in : r->inputs()) {
+            in->attachVcs();
+            for (InjectorQueue *inj : in->injectors)
+                inj->port = in.get();
+        }
+        r->setWorklist(&worklist_);
+    }
+    for (auto &term : termPorts_)
+        term->attachVcs();
+    for (InputPort *port : auxPorts_)
+        port->attachVcs();
+}
+
+void
+Network::invalidateArbitration()
+{
+    for (auto &r : routers_)
+        r->markArbDirty();
 }
 
 } // namespace taqos

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "noc/activity.h"
 #include "noc/ports.h"
 #include "qos/policy.h"
 #include "qos/pvc.h"
@@ -81,6 +82,17 @@ class Network {
     /// invariant checks.
     const std::vector<InputPort *> &auxPorts() const { return auxPorts_; }
 
+    /// Routers armed by activity events since the engine's last merge
+    /// (see noc/activity.h); the activity-driven NetSim consumes it once
+    /// per cycle.
+    ActivityWorklist &worklist() { return worklist_; }
+
+    /// Invalidate every router's cached arbitration state (frame flushes,
+    /// GSF window advances: policy state changed behind the routers'
+    /// backs). Does not arm idle routers — a router with no work has
+    /// nothing to rescan, and whatever gives it work later re-arms it.
+    void invalidateArbitration();
+
     // --- builder interface (used by the topology wiring code and tests) --
 
     /// VC index reserved for rate-compliant packets (-1 when disabled).
@@ -107,7 +119,11 @@ class Network {
     /// buffer) and record its index; also sets the self-route.
     void addTerminalOutput(NodeId n);
 
-    /// Call Router::finalize on every router.
+    /// Call Router::finalize on every router, then wire the activity
+    /// tracking: VC-to-port back-pointers (incremental occupancy),
+    /// injector-to-port back-pointers (enqueue arming), and the shared
+    /// worklist every router initially arms onto. Builders must call this
+    /// once, after the full port structure exists.
     void finalizeRouters();
 
     /// Next unused flow-table id on `r` (builders group replicated
@@ -127,6 +143,7 @@ class Network {
     std::vector<InjectorQueue> injectors_;
     std::vector<int> termOutIdx_;
     std::vector<InputPort *> auxPorts_;
+    ActivityWorklist worklist_;
 };
 
 } // namespace taqos

@@ -51,13 +51,28 @@ TrafficGenerator::tick(Cycle now, PacketPool &pool,
 {
     if (now >= traffic_.genUntil)
         return;
+
+    // Batched Bernoulli pass. Each flow's stream consumes exactly the
+    // draws the per-flow bernoulli() calls would (one per cycle while
+    // 0 < p < 1; none at the degenerate probabilities), so the sequences
+    // stay bit-identical — only the loop structure changes.
+    const auto flows = static_cast<std::size_t>(col_.numFlows());
+    draws_.resize(flows);
+    for (std::size_t f = 0; f < flows; ++f) {
+        const double p = genProb_[f];
+        if (p > 0.0 && p < 1.0)
+            draws_[f] = rng_[f].nextU64();
+    }
+
     for (FlowId f = 0; f < col_.numFlows(); ++f) {
         const double p = genProb_[static_cast<std::size_t>(f)];
         if (p <= 0.0)
             continue;
         Rng &rng = rng_[static_cast<std::size_t>(f)];
-        if (!rng.bernoulli(p))
+        if (p < 1.0 &&
+            Rng::doubleFromBits(draws_[static_cast<std::size_t>(f)]) >= p) {
             continue;
+        }
 
         InjectorQueue &inj = injectors[static_cast<std::size_t>(f)];
         // Size and destination are drawn even when suppressed so that the
@@ -67,7 +82,7 @@ TrafficGenerator::tick(Cycle now, PacketPool &pool,
             : traffic_.longFlits;
         const NodeId dest = pickDest(f);
 
-        if (inj.queue.size() >= traffic_.maxQueueDepth) {
+        if (inj.queue().size() >= traffic_.maxQueueDepth) {
             ++suppressed_;
             continue;
         }
@@ -81,7 +96,7 @@ TrafficGenerator::tick(Cycle now, PacketPool &pool,
         pkt->queuedCycle = now;
         pkt->state = PacketState::Queued;
         pkt->measured = metrics.inWindow(now);
-        inj.queue.push_back(pkt);
+        inj.enqueue(pkt);
 
         ++metrics.generatedPackets;
         metrics.generatedFlits += static_cast<std::uint64_t>(size);

@@ -37,6 +37,11 @@ class TrafficGenerator : public TrafficSource {
     TrafficConfig traffic_;
     std::vector<Rng> rng_;        ///< one stream per flow
     std::vector<double> genProb_; ///< per-cycle packet probability per flow
+    /// Scratch for the batched per-cycle Bernoulli pass (see tick):
+    /// advancing all streams in one tight loop lets the independent
+    /// xoshiro chains pipeline, which halves the draw cost that dominates
+    /// low-rate simulations.
+    std::vector<std::uint64_t> draws_;
     std::uint64_t suppressed_ = 0;
 };
 

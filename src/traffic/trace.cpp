@@ -57,9 +57,8 @@ TrafficTrace::record(const ColumnConfig &col, const TrafficConfig &traffic,
         gen.tick(c, pool, injectors, metrics);
         // Drain what this cycle produced, in flow order (stable).
         for (auto &inj : injectors) {
-            while (!inj.queue.empty()) {
-                NetPacket *pkt = inj.queue.front();
-                inj.queue.pop_front();
+            while (!inj.queue().empty()) {
+                NetPacket *pkt = inj.dequeue();
                 trace.append(TraceEntry{c, pkt->flow, pkt->dst,
                                         pkt->sizeFlits});
                 pkt->state = PacketState::Queued;
@@ -137,7 +136,7 @@ TraceReplayer::tick(Cycle now, PacketPool &pool,
         pkt->queuedCycle = now;
         pkt->state = PacketState::Queued;
         pkt->measured = metrics.inWindow(now);
-        injectors[static_cast<std::size_t>(e.flow)].queue.push_back(pkt);
+        injectors[static_cast<std::size_t>(e.flow)].enqueue(pkt);
 
         ++metrics.generatedPackets;
         metrics.generatedFlits += static_cast<std::uint64_t>(e.sizeFlits);

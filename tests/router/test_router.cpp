@@ -38,7 +38,7 @@ inject(ColumnSim &sim, FlowId flow, NodeId dst, int size = 1)
     pkt->sizeFlits = size;
     pkt->genCycle = sim.now();
     pkt->queuedCycle = sim.now();
-    sim.network().injector(flow).queue.push_back(pkt);
+    sim.network().injector(flow).enqueue(pkt);
     return pkt;
 }
 
@@ -196,7 +196,7 @@ TEST(Router, NackedPacketRetransmitsAndDelivers)
         pkt->xfers[0]->cancelTransfer(sim.now());
     pkt->state = PacketState::Queued;
     pkt->queuedCycle = sim.now();
-    sim.network().injector(pkt->flow).queue.push_front(pkt);
+    sim.network().injector(pkt->flow).enqueueFront(pkt);
     EXPECT_NE(runUntilDelivered(sim, pkt, 300), kNoCycle);
     EXPECT_GE(pkt->attempt, 2);
 }
@@ -214,8 +214,8 @@ TEST(Router, NoQosUsesRoundRobin)
     }
     sim.run(600);
     // Both drained without starvation.
-    EXPECT_TRUE(sim.network().injector(a).queue.empty());
-    EXPECT_TRUE(sim.network().injector(b).queue.empty());
+    EXPECT_TRUE(sim.network().injector(a).queue().empty());
+    EXPECT_TRUE(sim.network().injector(b).queue().empty());
     sim.checkInvariants();
 }
 
@@ -232,7 +232,7 @@ TEST(Router, WindowLimitsOutstanding)
         EXPECT_LE(sim.network().injector(f).outstanding, 2);
     }
     sim.run(1000);
-    EXPECT_TRUE(sim.network().injector(f).queue.empty());
+    EXPECT_TRUE(sim.network().injector(f).queue().empty());
 }
 
 TEST(Router, FrameFlushClearsTables)

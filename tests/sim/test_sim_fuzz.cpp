@@ -77,7 +77,7 @@ TEST_P(SimFuzz, RandomKillsNeverCorruptState)
         while (scratchAck.popDue(ctx.now + 1000, ev)) {
             ev.pkt->state = PacketState::Queued;
             ev.pkt->queuedCycle = sim.now();
-            sim.network().injector(ev.pkt->flow).queue.push_front(ev.pkt);
+            sim.network().injector(ev.pkt->flow).enqueueFront(ev.pkt);
         }
         ++kills;
         if (kills % 16 == 0)

@@ -73,7 +73,7 @@ TEST(FlatButterfly, SingleHopDelivery)
     pkt->dst = 7;
     pkt->sizeFlits = 1;
     pkt->genCycle = pkt->queuedCycle = 0;
-    sim.network().injector(0).queue.push_back(pkt);
+    sim.network().injector(0).enqueue(pkt);
     sim.run(60);
     EXPECT_EQ(pkt->state, PacketState::Delivered);
     // One network hop of span 7 + ejection.

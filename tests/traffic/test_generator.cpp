@@ -65,7 +65,7 @@ TEST(Generator, HotspotDestinations)
     GenHarness h(t);
     h.run(2000);
     for (const auto &inj : h.injectors)
-        for (const auto *pkt : inj.queue)
+        for (const auto *pkt : inj.queue())
             EXPECT_EQ(pkt->dst, 3);
 }
 
@@ -77,7 +77,7 @@ TEST(Generator, TornadoDestinations)
     h.run(2000);
     for (const auto &inj : h.injectors) {
         const NodeId src = h.col.nodeOfFlow(inj.flow);
-        for (const auto *pkt : inj.queue)
+        for (const auto *pkt : inj.queue())
             EXPECT_EQ(pkt->dst, (src + 4) % 8);
     }
 }
@@ -93,7 +93,7 @@ TEST(Generator, UniformExcludesSelfAndCoversAll)
     std::vector<std::set<NodeId>> dests(8);
     for (const auto &inj : h.injectors) {
         const NodeId src = h.col.nodeOfFlow(inj.flow);
-        for (const auto *pkt : inj.queue) {
+        for (const auto *pkt : inj.queue()) {
             EXPECT_NE(pkt->dst, src);
             dests[static_cast<std::size_t>(src)].insert(pkt->dst);
         }
@@ -115,9 +115,9 @@ TEST(Generator, ActiveFlowMaskAndPerFlowRates)
     h.run(20000);
     for (const auto &inj : h.injectors) {
         if (inj.flow == 5)
-            EXPECT_GT(inj.queue.size(), 0u);
+            EXPECT_GT(inj.queue().size(), 0u);
         else
-            EXPECT_EQ(inj.queue.size(), 0u);
+            EXPECT_EQ(inj.queue().size(), 0u);
     }
     const double rate =
         static_cast<double>(h.metrics.generatedFlits) / 20000.0;
@@ -152,7 +152,7 @@ TEST(Generator, QueueDepthSuppression)
     GenHarness h(t);
     h.run(10000);
     for (const auto &inj : h.injectors)
-        EXPECT_LE(inj.queue.size(), 10u);
+        EXPECT_LE(inj.queue().size(), 10u);
     EXPECT_GT(h.gen->suppressed(), 0u);
 }
 
@@ -166,8 +166,8 @@ TEST(Generator, DeterministicAcrossRuns)
     b.run(5000);
     ASSERT_EQ(a.metrics.generatedPackets, b.metrics.generatedPackets);
     for (FlowId f = 0; f < 64; ++f) {
-        const auto &qa = a.injectors[static_cast<std::size_t>(f)].queue;
-        const auto &qb = b.injectors[static_cast<std::size_t>(f)].queue;
+        const auto &qa = a.injectors[static_cast<std::size_t>(f)].queue();
+        const auto &qb = b.injectors[static_cast<std::size_t>(f)].queue();
         ASSERT_EQ(qa.size(), qb.size());
         for (std::size_t i = 0; i < qa.size(); ++i) {
             EXPECT_EQ(qa[i]->dst, qb[i]->dst);
@@ -203,7 +203,7 @@ TEST(Generator, MeasuredFlagFollowsWindow)
     h.metrics.measureEnd = 2000;
     h.run(3000);
     for (const auto &inj : h.injectors) {
-        for (const auto *pkt : inj.queue) {
+        for (const auto *pkt : inj.queue()) {
             EXPECT_EQ(pkt->measured,
                       pkt->genCycle >= 1000 && pkt->genCycle < 2000);
         }

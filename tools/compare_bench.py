@@ -1,15 +1,19 @@
 #!/usr/bin/env python3
-"""Perf-regression gate: compare fresh BENCH_*.json snapshots against the
-committed bench/baseline.json.
+"""Perf gate: compare fresh BENCH_*.json snapshots against the committed
+bench/baseline.json, and/or enforce minimum speedup ratios between named
+benchmark pairs inside the snapshots.
 
 Usage:
     tools/compare_bench.py CURRENT[,CURRENT2,...] BASELINE [TOLERANCE]
+    tools/compare_bench.py --min-speedup R FAST/SLOW[,FAST2/SLOW2,...] \
+        CURRENT[,CURRENT2,...]
 
-CURRENT is a comma-separated list of snapshot files the bench binaries
-just wrote (BENCH_micro.json from micro_bench, BENCH_qos_policy.json from
-ablation_qos_policy); their result lists are merged. BASELINE is the
-committed reference (same schema); TOLERANCE (default 2.0) is the allowed
-slowdown factor - the gate fails when
+Regression mode (positional): CURRENT is a comma-separated list of
+snapshot files the bench binaries just wrote (BENCH_micro.json,
+BENCH_qos_policy.json, BENCH_hotpath.json); their result lists are
+merged, later files overriding earlier ones. BASELINE is the committed
+reference (same schema); TOLERANCE (default 2.0) is the allowed slowdown
+factor - the gate fails when
 
     current.simCyclesPerSec < baseline.simCyclesPerSec / TOLERANCE
 
@@ -17,6 +21,15 @@ for any benchmark named in the baseline. Benchmarks present only in the
 current snapshot are reported but never fail the gate (new benchmarks get
 a baseline entry on the next refresh). Exit code 1 on regression or on a
 baseline entry missing from the current snapshot.
+
+Speedup mode (--min-speedup): each FAST/SLOW pair names two rows of the
+merged CURRENT snapshots; the gate fails when
+
+    fast.simCyclesPerSec < R * slow.simCyclesPerSec
+
+for any pair, or when either row is missing. This is how CI pins the
+activity-driven core's advantage over the always-tick reference engine
+(bench/ablation_hotpath writes both sides into BENCH_hotpath.json).
 """
 
 import json
@@ -32,14 +45,7 @@ def load_results(path):
     return merged
 
 
-def main(argv):
-    if len(argv) < 3:
-        sys.stderr.write(__doc__)
-        return 2
-    current = load_results(argv[1])
-    baseline = load_results(argv[2])
-    tolerance = float(argv[3]) if len(argv) > 3 else 2.0
-
+def check_regression(current, baseline, tolerance):
     failures = []
     width = max(len(n) for n in baseline) if baseline else 10
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  "
@@ -64,9 +70,81 @@ def main(argv):
         cur = current[name]["simCyclesPerSec"]
         print(f"{name:<{width}}  {'(new)':>12}  {cur:>12.0f}  "
               f"{'-':>6}  ok (not gated)")
+    return failures
 
+
+def check_speedups(current, pairs, ratio):
+    failures = []
+    print(f"{'pair':<48}  {'speedup':>8}  {'min':>5}  verdict")
+    for fast, slow in pairs:
+        label = f"{fast}/{slow}"
+        missing = [n for n in (fast, slow) if n not in current]
+        if missing:
+            print(f"{label:<48}  {'MISSING':>8}  {ratio:>5.2f}  FAIL")
+            failures.append(f"{label}: missing row(s) {', '.join(missing)}")
+            continue
+        slow_rate = current[slow]["simCyclesPerSec"]
+        fast_rate = current[fast]["simCyclesPerSec"]
+        if slow_rate <= 0 or fast_rate <= 0:
+            # A zeroed rate means the benchmark measured nothing (broken
+            # accumulation, truncated snapshot) — never a pass.
+            print(f"{label:<48}  {'ZERO':>8}  {ratio:>5.2f}  FAIL")
+            failures.append(
+                f"{label}: non-positive rate(s) fast={fast_rate:g} "
+                f"slow={slow_rate:g}")
+            continue
+        got = fast_rate / slow_rate
+        ok = fast_rate >= ratio * slow_rate
+        print(f"{label:<48}  {got:>7.2f}x  {ratio:>5.2f}  "
+              f"{'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(
+                f"{label}: {got:.2f}x speedup below the {ratio:g}x floor")
+    return failures
+
+
+def parse_pairs(spec):
+    pairs = []
+    for part in spec.split(","):
+        fast, sep, slow = part.partition("/")
+        if not sep or not fast or not slow:
+            raise ValueError(f"bad pair '{part}': want FAST/SLOW")
+        pairs.append((fast, slow))
+    return pairs
+
+
+def main(argv):
+    args = argv[1:]
+    if args and args[0] == "--min-speedup":
+        if len(args) != 4:
+            sys.stderr.write(__doc__)
+            return 2
+        ratio = float(args[1])
+        try:
+            pairs = parse_pairs(args[2])
+        except ValueError as err:
+            sys.stderr.write(f"{err}\n")
+            return 2
+        current = load_results(args[3])
+        failures = check_speedups(current, pairs, ratio)
+        if failures:
+            print("\nperf gate FAILED:")
+            for f in failures:
+                print(f"  - {f}")
+            return 1
+        print(f"\nspeedup gate passed ({len(pairs)} pairs, "
+              f"floor {ratio:g}x).")
+        return 0
+
+    if len(args) < 2 or len(args) > 3:
+        sys.stderr.write(__doc__)
+        return 2
+    current = load_results(args[0])
+    baseline = load_results(args[1])
+    tolerance = float(args[2]) if len(args) > 2 else 2.0
+    failures = check_regression(current, baseline, tolerance)
     if failures:
-        print("\nperf regression gate FAILED:")
+        print("\nperf gate FAILED:")
         for f in failures:
             print(f"  - {f}")
         print("If the slowdown is intentional, refresh bench/baseline.json "

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Compare the grid-point aggregates of two taqos-sweep/v1 records.
+
+Usage:
+    tools/diff_sweep.py CURRENT.json REFERENCE.json [--rtol R] [--atol A]
+
+Both files are sweep records written by SweepResult::writeJson (the
+nightly workflow's full-figure runs) or compact references produced with
+--emit-ref. Every grid point of the REFERENCE must exist in CURRENT, and
+each metric's mean must match within
+
+    |current - reference| <= atol + rtol * |reference|
+
+(default rtol 0.02, atol 1e-9: the simulator is deterministic, so only
+cross-compiler floating-point drift is tolerated; a real behavioural
+change moves means far beyond 2%). Grid points or metrics only in
+CURRENT are reported but do not fail. Exit 1 on any out-of-tolerance
+metric or missing grid point.
+
+    tools/diff_sweep.py --emit-ref SWEEP.json REF_OUT.json
+
+extracts just the grid-point means from a full record into a compact
+checked-in reference (bench/nightly_ref/*.json).
+"""
+
+import json
+import sys
+
+KEY_FIELDS = ("topology", "pattern", "mode", "rate", "workload",
+              "placement")
+
+
+def grid_key(agg):
+    return tuple(agg[k] for k in KEY_FIELDS)
+
+
+def load_aggregates(path):
+    with open(path) as f:
+        doc = json.load(f)
+    points = {}
+    for agg in doc.get("aggregates", []):
+        means = {}
+        for name, stats in agg.get("metrics", {}).items():
+            means[name] = stats["mean"] if isinstance(stats, dict) \
+                else stats
+        points[grid_key(agg)] = means
+    return doc, points
+
+
+def emit_ref(sweep_path, out_path):
+    doc, points = load_aggregates(sweep_path)
+    ref = {
+        "schema": "taqos-sweep-ref/v1",
+        "name": doc.get("name", ""),
+        "scenario": doc.get("scenario", ""),
+        "aggregates": [
+            dict(zip(KEY_FIELDS, key)) | {"metrics": means}
+            for key, means in sorted(points.items(),
+                                     key=lambda kv: repr(kv[0]))
+        ],
+    }
+    with open(out_path, "w") as f:
+        json.dump(ref, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out_path} ({len(points)} grid points)")
+    return 0
+
+
+def fmt_key(key):
+    return "/".join(str(v) for v in key)
+
+
+def main(argv):
+    args = argv[1:]
+    if args and args[0] == "--emit-ref":
+        if len(args) != 3:
+            sys.stderr.write(__doc__)
+            return 2
+        return emit_ref(args[1], args[2])
+
+    rtol, atol = 0.02, 1e-9
+    positional = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--rtol":
+            rtol = float(args[i + 1])
+            i += 2
+        elif args[i] == "--atol":
+            atol = float(args[i + 1])
+            i += 2
+        else:
+            positional.append(args[i])
+            i += 1
+    if len(positional) != 2:
+        sys.stderr.write(__doc__)
+        return 2
+
+    _, current = load_aggregates(positional[0])
+    _, reference = load_aggregates(positional[1])
+
+    failures = []
+    checked = 0
+    for key, ref_metrics in sorted(reference.items(),
+                                   key=lambda kv: repr(kv[0])):
+        if key not in current:
+            failures.append(f"{fmt_key(key)}: grid point missing")
+            continue
+        cur_metrics = current[key]
+        for name, ref_v in sorted(ref_metrics.items()):
+            if name not in cur_metrics:
+                failures.append(f"{fmt_key(key)}.{name}: metric missing")
+                continue
+            cur_v = cur_metrics[name]
+            checked += 1
+            if abs(cur_v - ref_v) > atol + rtol * abs(ref_v):
+                failures.append(
+                    f"{fmt_key(key)}.{name}: {cur_v:.6g} vs reference "
+                    f"{ref_v:.6g} (rtol {rtol:g})")
+
+    extra = sorted(set(current) - set(reference))
+    if extra:
+        print(f"{len(extra)} grid points only in current (not checked)")
+
+    if failures:
+        print(f"sweep diff FAILED ({len(failures)} of {checked} checks):")
+        for f in failures[:40]:
+            print(f"  - {f}")
+        if len(failures) > 40:
+            print(f"  ... and {len(failures) - 40} more")
+        return 1
+    print(f"sweep diff passed: {checked} metric means within "
+          f"rtol {rtol:g} across {len(reference)} grid points.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Unit tests for the perf gate (tools/compare_bench.py): snapshot
+merging, tolerance edges, missing-row handling, and the --min-speedup
+pair mode. Run directly (python3 tools/test_compare_bench.py) or via
+ctest (compare_bench_py)."""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import compare_bench  # noqa: E402
+
+
+def snapshot(rows):
+    return {"benchmark": "test",
+            "results": [{"name": n, "simCyclesPerSec": v}
+                        for n, v in rows.items()]}
+
+
+class TempSnapshots:
+    """Write snapshot dicts to temp files; returns their paths."""
+
+    def __init__(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.count = 0
+
+    def write(self, rows):
+        self.count += 1
+        path = os.path.join(self.dir.name, f"snap{self.count}.json")
+        with open(path, "w") as f:
+            json.dump(snapshot(rows), f)
+        return path
+
+
+class LoadResultsTest(unittest.TestCase):
+    def setUp(self):
+        self.snaps = TempSnapshots()
+
+    def test_single_file(self):
+        path = self.snaps.write({"a": 100.0, "b": 200.0})
+        merged = compare_bench.load_results(path)
+        self.assertEqual(sorted(merged), ["a", "b"])
+        self.assertEqual(merged["a"]["simCyclesPerSec"], 100.0)
+
+    def test_comma_separated_files_merge(self):
+        p1 = self.snaps.write({"a": 100.0, "b": 200.0})
+        p2 = self.snaps.write({"c": 300.0})
+        merged = compare_bench.load_results(f"{p1},{p2}")
+        self.assertEqual(sorted(merged), ["a", "b", "c"])
+
+    def test_later_file_overrides_earlier(self):
+        p1 = self.snaps.write({"a": 100.0})
+        p2 = self.snaps.write({"a": 999.0})
+        merged = compare_bench.load_results(f"{p1},{p2}")
+        self.assertEqual(merged["a"]["simCyclesPerSec"], 999.0)
+
+
+class RegressionGateTest(unittest.TestCase):
+    def setUp(self):
+        self.snaps = TempSnapshots()
+
+    def run_main(self, current, baseline, tol=None):
+        argv = ["compare_bench.py", current, baseline]
+        if tol is not None:
+            argv.append(str(tol))
+        return compare_bench.main(argv)
+
+    def test_passes_when_equal(self):
+        cur = self.snaps.write({"a": 100.0})
+        base = self.snaps.write({"a": 100.0})
+        self.assertEqual(self.run_main(cur, base), 0)
+
+    def test_tolerance_edge_exactly_at_floor_passes(self):
+        # current == baseline / tolerance is still ok (>= comparison).
+        cur = self.snaps.write({"a": 50.0})
+        base = self.snaps.write({"a": 100.0})
+        self.assertEqual(self.run_main(cur, base, 2.0), 0)
+
+    def test_just_below_floor_fails(self):
+        cur = self.snaps.write({"a": 49.9})
+        base = self.snaps.write({"a": 100.0})
+        self.assertEqual(self.run_main(cur, base, 2.0), 1)
+
+    def test_missing_baseline_row_fails(self):
+        cur = self.snaps.write({"b": 100.0})
+        base = self.snaps.write({"a": 100.0})
+        self.assertEqual(self.run_main(cur, base), 1)
+
+    def test_new_current_row_is_not_gated(self):
+        cur = self.snaps.write({"a": 100.0, "new_bench": 1.0})
+        base = self.snaps.write({"a": 100.0})
+        self.assertEqual(self.run_main(cur, base), 0)
+
+    def test_merged_snapshots_cover_the_baseline(self):
+        p1 = self.snaps.write({"a": 100.0})
+        p2 = self.snaps.write({"b": 200.0})
+        base = self.snaps.write({"a": 100.0, "b": 200.0})
+        self.assertEqual(self.run_main(f"{p1},{p2}", base), 0)
+
+    def test_usage_error(self):
+        self.assertEqual(compare_bench.main(["compare_bench.py"]), 2)
+
+
+class MinSpeedupTest(unittest.TestCase):
+    def setUp(self):
+        self.snaps = TempSnapshots()
+
+    def run_main(self, ratio, pairs, current):
+        return compare_bench.main(
+            ["compare_bench.py", "--min-speedup", str(ratio), pairs,
+             current])
+
+    def test_passing_pair(self):
+        cur = self.snaps.write({"fast": 300.0, "slow": 100.0})
+        self.assertEqual(self.run_main(1.5, "fast/slow", cur), 0)
+
+    def test_exactly_at_floor_passes(self):
+        cur = self.snaps.write({"fast": 150.0, "slow": 100.0})
+        self.assertEqual(self.run_main(1.5, "fast/slow", cur), 0)
+
+    def test_below_floor_fails(self):
+        cur = self.snaps.write({"fast": 149.0, "slow": 100.0})
+        self.assertEqual(self.run_main(1.5, "fast/slow", cur), 1)
+
+    def test_multiple_pairs_all_must_pass(self):
+        cur = self.snaps.write({"f1": 200.0, "s1": 100.0,
+                                "f2": 100.0, "s2": 100.0})
+        self.assertEqual(self.run_main(1.5, "f1/s1,f2/s2", cur), 1)
+        self.assertEqual(self.run_main(1.5, "f1/s1", cur), 0)
+
+    def test_missing_row_fails(self):
+        cur = self.snaps.write({"fast": 300.0})
+        self.assertEqual(self.run_main(1.5, "fast/slow", cur), 1)
+
+    def test_zeroed_rates_fail_rather_than_vacuously_pass(self):
+        cur = self.snaps.write({"fast": 0.0, "slow": 0.0})
+        self.assertEqual(self.run_main(1.5, "fast/slow", cur), 1)
+
+    def test_bad_pair_spec_is_a_usage_error(self):
+        cur = self.snaps.write({"fast": 300.0, "slow": 100.0})
+        self.assertEqual(self.run_main(1.5, "fastslow", cur), 2)
+
+    def test_merged_snapshots(self):
+        p1 = self.snaps.write({"fast": 300.0})
+        p2 = self.snaps.write({"slow": 100.0})
+        self.assertEqual(self.run_main(2.0, "fast/slow", f"{p1},{p2}"), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
