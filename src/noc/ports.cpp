@@ -1,5 +1,6 @@
 #include "noc/ports.h"
 
+#include "noc/trace_sink.h"
 #include "router/router.h"
 
 namespace taqos {
@@ -51,16 +52,22 @@ InputPort::onVcReserved(VirtualChannel &vc)
 {
     ++occupied_;
     ++mutEpoch_;
+    if (trace != nullptr) {
+        trace->vcReserved(*this, vcIndex(vc), *vc.packet(),
+                          vc.headArrival(), vc.tailArrival());
+    }
     if (owner != nullptr)
         owner->noteVcReserved(this, vcIndex(vc));
 }
 
 void
-InputPort::onVcFreed(VirtualChannel &vc)
+InputPort::onVcFreed(VirtualChannel &vc, NetPacket *freed)
 {
     --occupied_;
     ++mutEpoch_;
     TAQOS_ASSERT(occupied_ >= 0, "occupancy underflow on %s", name.c_str());
+    if (trace != nullptr && freed != nullptr)
+        trace->vcFreed(*this, vcIndex(vc), *freed);
     if (owner != nullptr)
         owner->noteVcFreed(this, vc);
 }
@@ -69,6 +76,8 @@ void
 InputPort::onVcDrained(VirtualChannel &vc)
 {
     ++mutEpoch_;
+    if (trace != nullptr)
+        trace->vcDrained(*this, vcIndex(vc), *vc.packet());
     // Still occupied (the packet stays resident until its tail departs),
     // but no longer an arbitration candidate here.
     if (owner != nullptr)

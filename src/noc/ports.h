@@ -33,6 +33,7 @@ namespace taqos {
 
 class InputPort;
 class Router;
+class TraceSink;
 
 /// One traffic source (terminal or row input). The queue head is the only
 /// injectable packet; `outstanding` enforces the PVC retransmission window.
@@ -132,6 +133,10 @@ class InputPort {
     /// null for terminal/handoff buffers owned by the engine).
     Router *owner = nullptr;
 
+    /// Flit-trace recorder observing this port's VC transitions (null =
+    /// not recording; wired by Network::setTraceSink).
+    TraceSink *trace = nullptr;
+
     std::vector<VirtualChannel> vcs;
 
     /// Only for Kind::Injection: the sources multiplexed onto this port.
@@ -170,9 +175,10 @@ class InputPort {
 
     /// State-transition hooks (called by VirtualChannel / InjectorQueue).
     /// `headChanged` reports whether the queue's front packet — the only
-    /// arbitration candidate — is a different packet afterwards.
+    /// arbitration candidate — is a different packet afterwards. `freed`
+    /// is the packet the VC held (its own pointer is already cleared).
     void onVcReserved(VirtualChannel &vc);
-    void onVcFreed(VirtualChannel &vc);
+    void onVcFreed(VirtualChannel &vc, NetPacket *freed);
     void onVcDrained(VirtualChannel &vc);
     void onInjectorEnqueue(InjectorQueue &inj, bool headChanged);
     void onInjectorDequeue(InjectorQueue &inj);

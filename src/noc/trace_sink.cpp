@@ -1,0 +1,7 @@
+#include "noc/trace_sink.h"
+
+namespace taqos {
+
+TraceSink::~TraceSink() = default;
+
+} // namespace taqos

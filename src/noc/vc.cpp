@@ -30,13 +30,14 @@ void
 VirtualChannel::free(Cycle visibleAt)
 {
     TAQOS_ASSERT(state_ != State::Free, "double free of VC");
+    NetPacket *const freed = pkt_;
     state_ = State::Free;
     pkt_ = nullptr;
     headArrival_ = kNoCycle;
     tailArrival_ = kNoCycle;
     freeVisibleAt_ = visibleAt;
     if (port_ != nullptr)
-        port_->onVcFreed(*this);
+        port_->onVcFreed(*this, freed);
 }
 
 int

@@ -1,0 +1,28 @@
+#include "qos/audit.h"
+
+namespace taqos {
+
+QosAuditBounds
+defaultAuditBounds(QosMode mode)
+{
+    QosAuditBounds b;
+    switch (mode) {
+      case QosMode::AgeArb:
+        // Oldest-first arbitration is starvation-free; a packet older
+        // than this has been bypassed pathologically. Far above the
+        // drain horizon of every finite workload in the suite.
+        b.maxPacketAge = 2000000;
+        break;
+      case QosMode::Wrr:
+        b.wrrTolerance = 0.5;
+        break;
+      case QosMode::Pvc:
+      case QosMode::PerFlowQueue:
+      case QosMode::NoQos:
+      case QosMode::Gsf:
+        break;
+    }
+    return b;
+}
+
+} // namespace taqos

@@ -1,0 +1,40 @@
+/// \file audit.h
+/// Per-policy QoS guarantee bounds for the independent trace auditor.
+///
+/// Each QosMode makes a different enforceable promise (the PVC reserved
+/// quota, the GSF frame budget, age-bounded delivery, WRR proportional
+/// shares). The checker (verify/checker.h) re-derives PVC and GSF bounds
+/// from the parameters frozen into the trace header; the two bounds that
+/// are *tunable audit thresholds* rather than mechanism parameters — the
+/// worst-case packet age and the WRR share tolerance — are specified
+/// here, per policy, and stamped into the trace by the recorder so checker
+/// and recorder agree on what was promised.
+#pragma once
+
+#include "common/types.h"
+#include "qos/pvc.h"
+
+namespace taqos {
+
+struct QosAuditBounds {
+    /// Age-based starvation freedom: every packet must be delivered (or
+    /// the run must end) within this many cycles of its generation.
+    /// 0 disables the age audit.
+    Cycle maxPacketAge = 0;
+
+    /// WRR weight tracking: a continuously backlogged flow's delivered
+    /// share may fall below `weightShare * (1 - wrrTolerance)` only as a
+    /// violation. Shares are only audited across flows backlogged for the
+    /// whole measurement window with a statistically meaningful delivery
+    /// count, so the tolerance absorbs discretization, not starvation.
+    double wrrTolerance = 0.5;
+};
+
+/// The bounds audited for `mode`. Age-arbitrated runs promise bounded
+/// age (the default is generous: far above any drained run's span, so a
+/// clean finite run can never false-positive while a starved packet —
+/// which would hold its VC forever — is still caught); other modes make
+/// no age promise and skip the audit.
+QosAuditBounds defaultAuditBounds(QosMode mode);
+
+} // namespace taqos

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/log.h"
+#include "noc/trace_sink.h"
 
 namespace taqos {
 
@@ -530,6 +531,8 @@ Router::tryGrant(Candidate &cand, TickContext &ctx)
         }
         if (ctx.metrics != nullptr)
             ++ctx.metrics->injectedAttempts;
+        if (trace_ != nullptr)
+            trace_->inject(ctx.now, node_, *pkt);
     }
 
     // Priority reuse: the next hop (a DPS repeater, or any router without
@@ -550,6 +553,8 @@ Router::tryGrant(Candidate &cand, TickContext &ctx)
     const VcRef srcVc = fromInjection ? VcRef{nullptr, -1}
                                       : VcRef{cand.port, cand.vc};
     out->startTransfer(pkt, cand.dropIdx, vcIdx, srcVc, ctx.now);
+    if (trace_ != nullptr)
+        trace_->hop(ctx.now, node_, *down, vcIdx, *pkt);
 
     if (cand.port->group != nullptr)
         cand.port->group->occupy(ctx.now, pkt->sizeFlits);
@@ -695,6 +700,11 @@ Router::killPacket(NetPacket *victim, TickContext &ctx)
                  "preempting packet in state %d",
                  static_cast<int>(victim->state));
 
+    // Record the kill before the teardown below frees the victim's VCs,
+    // so the trace shows K and then the chain's F events.
+    if (trace_ != nullptr)
+        trace_->kill(ctx.now, node_, *victim);
+
     double wasted = victim->hopsThisAttempt;
     while (victim->numXfers > 0)
         wasted += victim->xfers[0]->cancelTransfer(ctx.now);
@@ -730,6 +740,17 @@ Router::killPacket(NetPacket *victim, TickContext &ctx)
                     static_cast<unsigned long long>(ctx.now), node_,
                     static_cast<unsigned long long>(victim->id),
                     victim->flow, wasted);
+}
+
+void
+Router::setTraceSink(TraceSink *sink)
+{
+    trace_ = sink;
+    for (const auto &in : inputs_) {
+        if (sink != nullptr)
+            sink->registerPort(*in, /*terminal=*/false);
+        in->trace = sink;
+    }
 }
 
 void

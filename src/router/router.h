@@ -112,6 +112,11 @@ class Router {
     /// failures directly.
     void killPacket(NetPacket *victim, TickContext &ctx);
 
+    /// Attach (or detach, with nullptr) a flit-trace recorder: registers
+    /// every input port with the sink and points the router's and ports'
+    /// hooks at it. Wired fabric-wide by Network::setTraceSink.
+    void setTraceSink(TraceSink *sink);
+
     // --- activity tracking (the activity-driven engine) ---------------
     //
     // Two layers. (1) Engine worklist: the engine ticks only routers on
@@ -222,6 +227,9 @@ class Router {
 
     NodeId node_;
     const PvcParams *params_;
+    /// Flit-trace recorder (null = not recording): injection grants,
+    /// hop starts and preemption kills are emitted from this router.
+    TraceSink *trace_ = nullptr;
     /// Every priority / preemption / quota decision (owns the per-router
     /// arbitration state, e.g. the NoQos rotating pointers).
     std::unique_ptr<QosPolicy> policy_;

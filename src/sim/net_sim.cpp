@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "noc/trace_sink.h"
 #include "router/router.h"
 
 namespace taqos {
@@ -35,6 +36,13 @@ NetSim::setActivityDriven(bool on)
 {
     TAQOS_ASSERT(now_ == 0, "engine selection must precede the first step");
     activityDriven_ = on;
+}
+
+void
+NetSim::attachTraceSink(TraceSink *sink)
+{
+    trace_ = sink;
+    net_->setTraceSink(sink);
 }
 
 void
@@ -128,6 +136,8 @@ NetSim::processAcks()
                          "NACK for packet not dropped");
             pkt->state = PacketState::Queued;
             pkt->queuedCycle = now_;
+            if (trace_ != nullptr)
+                trace_->requeue(now_, *pkt);
             inj.enqueueFront(pkt);
         } else {
             TAQOS_ASSERT(pkt->state == PacketState::Delivered,
@@ -139,6 +149,8 @@ NetSim::processAcks()
             // The retired slot may unblock a head packet stalled on the
             // retransmission window.
             inj.noteWindowChange();
+            if (trace_ != nullptr)
+                trace_->retire(now_, *pkt);
             pool_.release(pkt);
         }
     }
@@ -149,6 +161,8 @@ NetSim::deliver(NetPacket *pkt, InputPort *port, int vcIdx)
 {
     pkt->state = PacketState::Delivered;
     pkt->deliverCycle = now_;
+    if (trace_ != nullptr)
+        trace_->deliver(now_, *port, vcIdx, *pkt);
     pkt->removeLoc(port, vcIdx);
     port->vcs[static_cast<std::size_t>(vcIdx)].free(
         now_ + static_cast<Cycle>(port->creditDelay));
@@ -194,6 +208,8 @@ NetSim::tickTerminals()
 void
 NetSim::step()
 {
+    if (trace_ != nullptr)
+        trace_->noteCycle(now_);
     processFrameBoundary();
     processAcks();
     if (source_ != nullptr)

@@ -76,6 +76,12 @@ class NetSim {
     /// inside it. Call before the window opens.
     void setMeasureWindow(Cycle start, Cycle end);
 
+    /// Attach (or detach, with nullptr) a flit-trace recorder: wires the
+    /// fabric's port/router hooks (Network::setTraceSink) and the
+    /// engine-side events (delivery, NACK requeue, ACK retirement). The
+    /// recorded stream feeds the independent checker in src/verify.
+    void attachTraceSink(TraceSink *sink);
+
     Cycle now() const { return now_; }
     SimMetrics &metrics() { return metrics_; }
     const SimMetrics &metrics() const { return metrics_; }
@@ -109,6 +115,7 @@ class NetSim {
     SimMetrics metrics_;
     Cycle now_ = 0;
     bool activityDriven_ = true;
+    TraceSink *trace_ = nullptr; ///< flit-trace recorder (null = off)
 
   private:
     /// Fold newly-armed routers into the sorted active list (node order —

@@ -1,0 +1,205 @@
+#include "sim/trace_record.h"
+
+#include "common/assert.h"
+#include "noc/packet.h"
+#include "noc/ports.h"
+#include "qos/audit.h"
+
+namespace taqos {
+
+TraceMeta
+describeColumn(const ColumnConfig &col)
+{
+    TraceMeta m;
+    m.topology = topologyName(col.topology);
+    m.mode = qosModeName(col.mode);
+    m.nodes = col.numNodes;
+    m.injectorsPerNode = col.injectorsPerNode;
+    m.flows = col.numFlows();
+    m.frameLen = col.pvc.frameLen;
+    m.quotaEnabled = col.pvc.quotaEnabled;
+    m.quotaProtect = col.pvc.quotaProtectFactor;
+    m.windowLimit = col.pvc.windowLimit;
+    m.gsfFrameLen = col.pvc.gsfFrameLen;
+    m.gsfFrames = col.pvc.gsfFrames;
+    m.weights = col.pvc.weights;
+    const QosAuditBounds bounds = defaultAuditBounds(col.mode);
+    m.maxAge = bounds.maxPacketAge;
+    m.wrrTol = bounds.wrrTolerance;
+    return m;
+}
+
+TraceRecorder::TraceRecorder(TraceMeta meta)
+{
+    trace_.meta = std::move(meta);
+}
+
+void
+TraceRecorder::setMeasureWindow(Cycle start, Cycle end)
+{
+    trace_.meta.measureStart = start;
+    trace_.meta.measureEnd = end;
+}
+
+void
+TraceRecorder::finish(Cycle endCycle, bool drained)
+{
+    trace_.meta.endCycle = endCycle;
+    trace_.meta.drained = drained;
+}
+
+void
+TraceRecorder::registerPort(const InputPort &port, bool terminal)
+{
+    if (portIds_.count(&port) != 0)
+        return; // idempotent (re-attach)
+    TracePortInfo info;
+    info.id = static_cast<std::int32_t>(trace_.ports.size());
+    info.node = port.node;
+    info.terminal = terminal;
+    info.name = port.name.empty() ? "port" : port.name;
+    portIds_.emplace(&port, info.id);
+    trace_.ports.push_back(std::move(info));
+}
+
+std::int32_t
+TraceRecorder::portId(const InputPort &port) const
+{
+    auto it = portIds_.find(&port);
+    TAQOS_ASSERT(it != portIds_.end(),
+                 "trace event on unregistered port %s", port.name.c_str());
+    return it->second;
+}
+
+Cycle
+TraceRecorder::bump(Cycle now)
+{
+    if (now > now_)
+        now_ = now;
+    return now_;
+}
+
+void
+TraceRecorder::noteCycle(Cycle now)
+{
+    bump(now);
+}
+
+void
+TraceRecorder::inject(Cycle now, NodeId node, const NetPacket &pkt)
+{
+    TraceEvent e;
+    e.kind = TraceEventKind::Inject;
+    e.cycle = bump(now);
+    e.node = node;
+    e.pkt = pkt.id;
+    e.flow = pkt.flow;
+    e.src = pkt.src;
+    e.dst = pkt.dst;
+    e.size = pkt.sizeFlits;
+    e.attempt = pkt.attempt;
+    e.gen = pkt.genCycle;
+    e.frameTag = pkt.frameTag;
+    e.compliant = pkt.rateCompliant;
+    trace_.events.push_back(e);
+}
+
+void
+TraceRecorder::vcReserved(const InputPort &port, int vc,
+                          const NetPacket &pkt, Cycle headArrival,
+                          Cycle tailArrival)
+{
+    TraceEvent e;
+    e.kind = TraceEventKind::VcReserve;
+    e.cycle = now_;
+    e.port = portId(port);
+    e.vc = vc;
+    e.pkt = pkt.id;
+    e.head = headArrival;
+    e.tail = tailArrival;
+    trace_.events.push_back(e);
+}
+
+void
+TraceRecorder::vcDrained(const InputPort &port, int vc, const NetPacket &pkt)
+{
+    TraceEvent e;
+    e.kind = TraceEventKind::VcDrain;
+    e.cycle = now_;
+    e.port = portId(port);
+    e.vc = vc;
+    e.pkt = pkt.id;
+    trace_.events.push_back(e);
+}
+
+void
+TraceRecorder::vcFreed(const InputPort &port, int vc, const NetPacket &pkt)
+{
+    TraceEvent e;
+    e.kind = TraceEventKind::VcFree;
+    e.cycle = now_;
+    e.port = portId(port);
+    e.vc = vc;
+    e.pkt = pkt.id;
+    trace_.events.push_back(e);
+}
+
+void
+TraceRecorder::hop(Cycle now, NodeId from, const InputPort &down, int vc,
+                   const NetPacket &pkt)
+{
+    TraceEvent e;
+    e.kind = TraceEventKind::Hop;
+    e.cycle = bump(now);
+    e.node = from;
+    e.port = portId(down);
+    e.vc = vc;
+    e.pkt = pkt.id;
+    trace_.events.push_back(e);
+}
+
+void
+TraceRecorder::kill(Cycle now, NodeId node, const NetPacket &pkt)
+{
+    TraceEvent e;
+    e.kind = TraceEventKind::Kill;
+    e.cycle = bump(now);
+    e.node = node;
+    e.pkt = pkt.id;
+    trace_.events.push_back(e);
+}
+
+void
+TraceRecorder::requeue(Cycle now, const NetPacket &pkt)
+{
+    TraceEvent e;
+    e.kind = TraceEventKind::Requeue;
+    e.cycle = bump(now);
+    e.pkt = pkt.id;
+    trace_.events.push_back(e);
+}
+
+void
+TraceRecorder::deliver(Cycle now, const InputPort &port, int vc,
+                       const NetPacket &pkt)
+{
+    TraceEvent e;
+    e.kind = TraceEventKind::Deliver;
+    e.cycle = bump(now);
+    e.port = portId(port);
+    e.vc = vc;
+    e.pkt = pkt.id;
+    trace_.events.push_back(e);
+}
+
+void
+TraceRecorder::retire(Cycle now, const NetPacket &pkt)
+{
+    TraceEvent e;
+    e.kind = TraceEventKind::Retire;
+    e.cycle = bump(now);
+    e.pkt = pkt.id;
+    trace_.events.push_back(e);
+}
+
+} // namespace taqos

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/assert.h"
+#include "noc/trace_sink.h"
 
 namespace taqos {
 
@@ -128,6 +129,23 @@ Network::invalidateArbitration()
 {
     for (auto &r : routers_)
         r->markArbDirty();
+}
+
+void
+Network::setTraceSink(TraceSink *sink)
+{
+    for (auto &r : routers_)
+        r->setTraceSink(sink);
+    for (auto &term : termPorts_) {
+        if (sink != nullptr)
+            sink->registerPort(*term, /*terminal=*/true);
+        term->trace = sink;
+    }
+    for (InputPort *port : auxPorts_) {
+        if (sink != nullptr)
+            sink->registerPort(*port, /*terminal=*/false);
+        port->trace = sink;
+    }
 }
 
 } // namespace taqos

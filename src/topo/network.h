@@ -93,6 +93,12 @@ class Network {
     /// nothing to rescan, and whatever gives it work later re-arms it.
     void invalidateArbitration();
 
+    /// Attach (or detach, with nullptr) a flit-trace recorder to every
+    /// router, terminal and aux port: registers each port with the sink
+    /// and points the state-transition hooks at it. Usually reached via
+    /// NetSim::attachTraceSink, which also feeds the engine-side events.
+    void setTraceSink(TraceSink *sink);
+
     // --- builder interface (used by the topology wiring code and tests) --
 
     /// VC index reserved for rate-compliant packets (-1 when disabled).

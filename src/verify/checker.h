@@ -1,0 +1,99 @@
+/// \file checker.h
+/// Independent flit-trace verifier and QoS-guarantee auditor.
+///
+/// Replays a recorded trace (flit_trace.h) and re-derives, from first
+/// principles, that what the engine did was *valid* — the VTR
+/// check_route.cpp pattern. This module deliberately depends on nothing
+/// but the trace format: no router, engine, policy or topology headers,
+/// so a bug in engine state cannot silently agree with the check.
+///
+/// Structural invariants (always checked):
+///  - monotonic timestamps: the event stream's cycles never decrease;
+///  - VC exclusivity: a VC holds at most one packet; reserve/drain/free
+///    transitions are well-formed and name the resident packet;
+///  - route legality: every hop leaves the packet's current node, obeys
+///    the topology's adjacency (mesh/DPS: neighbouring node with strict
+///    progress toward the destination; MECS/flattened butterfly: a
+///    single network hop straight to the destination), and only the
+///    destination's terminal port ejects it;
+///  - flit conservation: every injected packet is delivered exactly once
+///    or explicitly preempted — never duplicated, never lost; a run that
+///    claims to have drained has no undelivered injected packet.
+///
+/// QoS audits (per the policy recorded in the trace header):
+///  - PVC: a preemption may never discard a packet whose flow is inside
+///    its protected reserved quota (quotaProtect x frameLen*w/sumW). The
+///    audit is sound against both the local-flow-table and the carried
+///    compliance-stamp protection paths: a kill is flagged only when the
+///    flow's conservatively-reconstructed in-frame service is inside the
+///    cap both at the kill and at the victim's injection.
+///  - GSF: no flow exceeds its per-frame injection budget
+///    (charge-then-overshoot admission), frame tags never regress, and
+///    the in-flight frame span stays inside the gsfFrames window.
+///  - Age: every delivery (and every packet still live at the end of the
+///    run) is within the policy's worst-case age bound.
+///  - WRR: flows backlogged across the whole measurement window receive
+///    delivered-flit shares proportional to their weights, within the
+///    recorded tolerance.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "verify/flit_trace.h"
+
+namespace taqos {
+
+struct Violation {
+    std::string cls; ///< "timestamp", "vc-exclusivity", "route",
+                     ///< "conservation", "pvc-quota", "gsf-frame",
+                     ///< "age-bound", "wrr-weight"
+    Cycle cycle = 0;
+    PacketId pkt = kInvalidPacket;
+    std::int32_t node = -1;
+    std::int32_t port = -1;
+    std::int32_t vc = -1;
+    std::string message;
+};
+
+/// "cycle C [cls] pkt P node N port p vc v: message" (fields present
+/// only when meaningful) — the first-violation diagnostic line.
+std::string formatViolation(const Violation &v);
+
+struct CheckReport {
+    std::vector<Violation> violations; ///< in stream order, capped
+    std::uint64_t eventsChecked = 0;
+
+    bool ok() const { return violations.empty(); }
+    bool has(const std::string &cls) const;
+    /// The first violation's diagnostic (empty when ok).
+    std::string firstDiagnostic() const;
+};
+
+struct CheckOptions {
+    /// Run the per-policy QoS audits (PVC/GSF/age/WRR). Structural
+    /// invariants are always checked. Disable when the trace contains
+    /// deliberately hostile failure injection (the fuzz kill harness).
+    bool qosAudit = true;
+    /// Stop collecting after this many violations (the stream is still
+    /// scanned so structural state stays consistent).
+    std::size_t maxViolations = 32;
+};
+
+CheckReport verifyTrace(const FlitTrace &trace,
+                        const CheckOptions &opts = {});
+
+/// Load + parse + verify. `parseOk == false` means the file was
+/// malformed or truncated (diagnostic in `parseError`); the report is
+/// only meaningful when parsing succeeded.
+struct FileCheckResult {
+    bool parseOk = false;
+    std::string parseError;
+    CheckReport report;
+};
+
+FileCheckResult verifyTraceFile(const std::string &path,
+                                const CheckOptions &opts = {});
+
+} // namespace taqos

@@ -1,0 +1,384 @@
+#include "verify/flit_trace.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace taqos {
+
+namespace {
+
+const char kMagic[] = "taqos-flit-trace";
+
+void
+writeEvent(std::ostream &os, const TraceEvent &e)
+{
+    os << static_cast<char>(e.kind) << ' ' << e.cycle;
+    switch (e.kind) {
+      case TraceEventKind::Inject:
+        os << ' ' << e.node << ' ' << e.pkt << ' ' << e.flow << ' ' << e.src
+           << ' ' << e.dst << ' ' << e.size << ' ' << e.attempt << ' '
+           << e.gen << ' ' << e.frameTag << ' ' << (e.compliant ? 1 : 0);
+        break;
+      case TraceEventKind::VcReserve:
+        os << ' ' << e.port << ' ' << e.vc << ' ' << e.pkt << ' ' << e.head
+           << ' ' << e.tail;
+        break;
+      case TraceEventKind::VcDrain:
+      case TraceEventKind::VcFree:
+      case TraceEventKind::Deliver:
+        os << ' ' << e.port << ' ' << e.vc << ' ' << e.pkt;
+        break;
+      case TraceEventKind::Hop:
+        os << ' ' << e.node << ' ' << e.port << ' ' << e.vc << ' ' << e.pkt;
+        break;
+      case TraceEventKind::Kill:
+        os << ' ' << e.node << ' ' << e.pkt;
+        break;
+      case TraceEventKind::Requeue:
+      case TraceEventKind::Retire:
+        os << ' ' << e.pkt;
+        break;
+    }
+    os << '\n';
+}
+
+/// Tokenizing parser state for one line; every numeric read is checked.
+class LineReader {
+  public:
+    explicit LineReader(const std::string &line) : is_(line) {}
+
+    bool next(std::string &tok) { return static_cast<bool>(is_ >> tok); }
+
+    bool nextU64(std::uint64_t &out)
+    {
+        std::string tok;
+        if (!next(tok))
+            return false;
+        errno = 0;
+        char *end = nullptr;
+        out = std::strtoull(tok.c_str(), &end, 10);
+        return errno == 0 && end != nullptr && *end == '\0' &&
+               end != tok.c_str();
+    }
+
+    bool nextI32(std::int32_t &out)
+    {
+        std::string tok;
+        if (!next(tok))
+            return false;
+        errno = 0;
+        char *end = nullptr;
+        const long long v = std::strtoll(tok.c_str(), &end, 10);
+        if (errno != 0 || end == nullptr || *end != '\0' ||
+            end == tok.c_str()) {
+            return false;
+        }
+        if (v < INT32_MIN || v > INT32_MAX)
+            return false;
+        out = static_cast<std::int32_t>(v);
+        return true;
+    }
+
+    bool nextDouble(double &out)
+    {
+        std::string tok;
+        if (!next(tok))
+            return false;
+        errno = 0;
+        char *end = nullptr;
+        out = std::strtod(tok.c_str(), &end);
+        return errno == 0 && end != nullptr && *end == '\0' &&
+               end != tok.c_str();
+    }
+
+    bool atEnd()
+    {
+        std::string tok;
+        return !(is_ >> tok);
+    }
+
+  private:
+    std::istringstream is_;
+};
+
+bool
+parseEvent(const std::string &line, TraceEvent &e)
+{
+    LineReader r(line);
+    std::string kind;
+    if (!r.next(kind) || kind.size() != 1)
+        return false;
+    std::uint64_t u = 0;
+    std::int32_t i = 0;
+    e = TraceEvent{};
+    switch (kind[0]) {
+      case 'J': e.kind = TraceEventKind::Inject; break;
+      case 'R': e.kind = TraceEventKind::VcReserve; break;
+      case 'N': e.kind = TraceEventKind::VcDrain; break;
+      case 'F': e.kind = TraceEventKind::VcFree; break;
+      case 'H': e.kind = TraceEventKind::Hop; break;
+      case 'K': e.kind = TraceEventKind::Kill; break;
+      case 'Q': e.kind = TraceEventKind::Requeue; break;
+      case 'D': e.kind = TraceEventKind::Deliver; break;
+      case 'A': e.kind = TraceEventKind::Retire; break;
+      default: return false;
+    }
+    if (!r.nextU64(u))
+        return false;
+    e.cycle = u;
+    switch (e.kind) {
+      case TraceEventKind::Inject:
+        if (!r.nextI32(e.node) || !r.nextU64(e.pkt) || !r.nextI32(e.flow) ||
+            !r.nextI32(e.src) || !r.nextI32(e.dst) || !r.nextI32(e.size) ||
+            !r.nextI32(e.attempt) || !r.nextU64(e.gen) ||
+            !r.nextU64(e.frameTag) || !r.nextI32(i)) {
+            return false;
+        }
+        e.compliant = i != 0;
+        break;
+      case TraceEventKind::VcReserve:
+        if (!r.nextI32(e.port) || !r.nextI32(e.vc) || !r.nextU64(e.pkt) ||
+            !r.nextU64(e.head) || !r.nextU64(e.tail)) {
+            return false;
+        }
+        break;
+      case TraceEventKind::VcDrain:
+      case TraceEventKind::VcFree:
+      case TraceEventKind::Deliver:
+        if (!r.nextI32(e.port) || !r.nextI32(e.vc) || !r.nextU64(e.pkt))
+            return false;
+        break;
+      case TraceEventKind::Hop:
+        if (!r.nextI32(e.node) || !r.nextI32(e.port) || !r.nextI32(e.vc) ||
+            !r.nextU64(e.pkt)) {
+            return false;
+        }
+        break;
+      case TraceEventKind::Kill:
+        if (!r.nextI32(e.node) || !r.nextU64(e.pkt))
+            return false;
+        break;
+      case TraceEventKind::Requeue:
+      case TraceEventKind::Retire:
+        if (!r.nextU64(e.pkt))
+            return false;
+        break;
+    }
+    return r.atEnd();
+}
+
+bool
+fail(std::string &error, std::size_t lineNo, const std::string &what)
+{
+    error = "line " + std::to_string(lineNo) + ": " + what;
+    return false;
+}
+
+} // namespace
+
+void
+writeFlitTrace(std::ostream &os, const FlitTrace &trace)
+{
+    const TraceMeta &m = trace.meta;
+    os << kMagic << ' ' << kFlitTraceVersion << '\n';
+    os << "topology " << m.topology << '\n';
+    os << "mode " << m.mode << '\n';
+    os << "nodes " << m.nodes << '\n';
+    os << "injectors_per_node " << m.injectorsPerNode << '\n';
+    os << "flows " << m.flows << '\n';
+    os << "frame_len " << m.frameLen << '\n';
+    os << "quota_enabled " << (m.quotaEnabled ? 1 : 0) << '\n';
+    os << "quota_protect " << m.quotaProtect << '\n';
+    os << "window_limit " << m.windowLimit << '\n';
+    os << "gsf_frame_len " << m.gsfFrameLen << '\n';
+    os << "gsf_frames " << m.gsfFrames << '\n';
+    if (!m.weights.empty()) {
+        os << "weights";
+        for (auto w : m.weights)
+            os << ' ' << w;
+        os << '\n';
+    }
+    os << "max_age " << m.maxAge << '\n';
+    os << "wrr_tol " << m.wrrTol << '\n';
+    os << "measure_start " << m.measureStart << '\n';
+    os << "measure_end " << m.measureEnd << '\n';
+    os << "end_cycle " << m.endCycle << '\n';
+    os << "drained " << (m.drained ? 1 : 0) << '\n';
+    for (const TracePortInfo &p : trace.ports) {
+        os << "port " << p.id << ' ' << p.node << ' ' << (p.terminal ? 1 : 0)
+           << ' ' << p.name << '\n';
+    }
+    os << "events " << trace.events.size() << '\n';
+    for (const TraceEvent &e : trace.events)
+        writeEvent(os, e);
+}
+
+std::string
+serializeFlitTrace(const FlitTrace &trace)
+{
+    std::ostringstream os;
+    writeFlitTrace(os, trace);
+    return os.str();
+}
+
+bool
+parseFlitTrace(std::istream &is, FlitTrace &out, std::string &error)
+{
+    out = FlitTrace{};
+    error.clear();
+    std::string line;
+    std::size_t lineNo = 0;
+
+    if (!std::getline(is, line))
+        return fail(error, 1, "empty trace (missing header)");
+    ++lineNo;
+    {
+        LineReader r(line);
+        std::string magic;
+        std::int32_t version = 0;
+        if (!r.next(magic) || magic != kMagic || !r.nextI32(version))
+            return fail(error, lineNo, "not a taqos flit trace");
+        if (version != kFlitTraceVersion) {
+            return fail(error, lineNo,
+                        "unsupported trace version " +
+                            std::to_string(version));
+        }
+    }
+
+    TraceMeta &m = out.meta;
+    std::uint64_t declaredEvents = 0;
+    bool sawEvents = false;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.empty() || line[0] == '#')
+            continue;
+        LineReader r(line);
+        std::string key;
+        if (!r.next(key))
+            continue;
+        bool ok = true;
+        std::uint64_t u = 0;
+        std::int32_t i = 0;
+        if (key == "topology") {
+            ok = r.next(m.topology);
+        } else if (key == "mode") {
+            ok = r.next(m.mode);
+        } else if (key == "nodes") {
+            ok = r.nextI32(m.nodes);
+        } else if (key == "injectors_per_node") {
+            ok = r.nextI32(m.injectorsPerNode);
+        } else if (key == "flows") {
+            ok = r.nextI32(m.flows);
+        } else if (key == "frame_len") {
+            ok = r.nextU64(m.frameLen);
+        } else if (key == "quota_enabled") {
+            ok = r.nextI32(i);
+            m.quotaEnabled = i != 0;
+        } else if (key == "quota_protect") {
+            ok = r.nextDouble(m.quotaProtect);
+        } else if (key == "window_limit") {
+            ok = r.nextI32(m.windowLimit);
+        } else if (key == "gsf_frame_len") {
+            ok = r.nextU64(m.gsfFrameLen);
+        } else if (key == "gsf_frames") {
+            ok = r.nextI32(m.gsfFrames);
+        } else if (key == "weights") {
+            m.weights.clear();
+            while (r.nextU64(u))
+                m.weights.push_back(static_cast<std::uint32_t>(u));
+            ok = r.atEnd() && !m.weights.empty();
+        } else if (key == "max_age") {
+            ok = r.nextU64(m.maxAge);
+        } else if (key == "wrr_tol") {
+            ok = r.nextDouble(m.wrrTol);
+        } else if (key == "measure_start") {
+            ok = r.nextU64(m.measureStart);
+        } else if (key == "measure_end") {
+            ok = r.nextU64(m.measureEnd);
+        } else if (key == "end_cycle") {
+            ok = r.nextU64(m.endCycle);
+        } else if (key == "drained") {
+            ok = r.nextI32(i);
+            m.drained = i != 0;
+        } else if (key == "port") {
+            TracePortInfo p;
+            ok = r.nextI32(p.id) && r.nextI32(p.node) && r.nextI32(i) &&
+                 r.next(p.name);
+            p.terminal = i != 0;
+            if (ok)
+                out.ports.push_back(std::move(p));
+        } else if (key == "events") {
+            ok = r.nextU64(declaredEvents);
+            sawEvents = ok;
+            if (ok)
+                break; // event lines follow
+        } else {
+            return fail(error, lineNo, "unknown meta key '" + key + "'");
+        }
+        if (!ok)
+            return fail(error, lineNo, "malformed '" + key + "' line");
+    }
+
+    if (!sawEvents)
+        return fail(error, lineNo, "truncated trace: no 'events' record");
+
+    out.events.reserve(static_cast<std::size_t>(declaredEvents));
+    while (out.events.size() < declaredEvents) {
+        if (!std::getline(is, line)) {
+            return fail(error, lineNo + 1,
+                        "truncated trace: expected " +
+                            std::to_string(declaredEvents) +
+                            " events, got " +
+                            std::to_string(out.events.size()));
+        }
+        ++lineNo;
+        if (line.empty() || line[0] == '#')
+            continue;
+        TraceEvent e;
+        if (!parseEvent(line, e))
+            return fail(error, lineNo, "malformed event '" + line + "'");
+        out.events.push_back(e);
+    }
+    return true;
+}
+
+bool
+parseFlitTrace(const std::string &text, FlitTrace &out, std::string &error)
+{
+    std::istringstream is(text);
+    return parseFlitTrace(is, out, error);
+}
+
+bool
+saveFlitTrace(const std::string &path, const FlitTrace &trace,
+              std::string &error)
+{
+    std::ofstream os(path);
+    if (!os) {
+        error = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    writeFlitTrace(os, trace);
+    os.flush();
+    if (!os) {
+        error = "write error on '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+loadFlitTrace(const std::string &path, FlitTrace &out, std::string &error)
+{
+    std::ifstream is(path);
+    if (!is) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    return parseFlitTrace(is, out, error);
+}
+
+} // namespace taqos

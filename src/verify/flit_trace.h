@@ -1,0 +1,173 @@
+/// \file flit_trace.h
+/// The recorded flit-trace format: a compact, versioned, line-oriented
+/// event stream describing everything a packet did in a run, plus the
+/// configuration the independent checker (verify/checker.h) needs to
+/// re-derive legality from first principles.
+///
+/// This header is deliberately self-contained (common/types.h only): the
+/// checker side must not depend on router/engine internals, and the
+/// engine side only needs the container to fill it.
+///
+/// Text layout (version 1):
+///
+///   taqos-flit-trace 1
+///   <key> <value...>          # meta, one per line, order-free
+///   port <id> <node> <term> <name>
+///   events <count>
+///   <kind> <cycle> <fields...>
+///
+/// Event kinds (first token; fields are unsigned decimal integers):
+///   J cycle node pkt flow src dst size attempt gen frameTag compliant
+///   R cycle port vc pkt head tail       VC reserved
+///   N cycle port vc pkt                 VC started draining
+///   F cycle port vc pkt                 VC freed
+///   H cycle from port vc pkt            hop (link transfer started)
+///   K cycle node pkt                    preemption kill
+///   Q cycle pkt                         NACK requeued at source
+///   D cycle port vc pkt                 delivered at destination terminal
+///   A cycle pkt                         ACKed / retired
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace taqos {
+
+inline constexpr int kFlitTraceVersion = 1;
+
+/// "No GSF frame tag" sentinel (mirrors noc kNoFrameTag without the
+/// dependency).
+inline constexpr std::uint64_t kTraceNoTag =
+    static_cast<std::uint64_t>(-1);
+
+enum class TraceEventKind : char {
+    Inject = 'J',
+    VcReserve = 'R',
+    VcDrain = 'N',
+    VcFree = 'F',
+    Hop = 'H',
+    Kill = 'K',
+    Requeue = 'Q',
+    Deliver = 'D',
+    Retire = 'A',
+};
+
+struct TraceEvent {
+    TraceEventKind kind = TraceEventKind::Inject;
+    Cycle cycle = 0;
+    PacketId pkt = 0;
+    std::int32_t node = -1; ///< J: injecting router; K: killer; H: from
+    std::int32_t port = -1; ///< R/N/F/H/D: input-port id
+    std::int32_t vc = -1;
+
+    // Inject-only payload (the packet's identity and attempt state).
+    FlowId flow = kInvalidFlow;
+    std::int32_t src = -1;
+    std::int32_t dst = -1;
+    std::int32_t size = 0;
+    std::int32_t attempt = 0;
+    Cycle gen = 0;
+    std::uint64_t frameTag = kTraceNoTag;
+    bool compliant = false;
+
+    // VcReserve-only payload.
+    Cycle head = 0;
+    Cycle tail = 0;
+
+    bool operator==(const TraceEvent &) const = default;
+};
+
+/// One announced input port (identity table at the head of the trace).
+struct TracePortInfo {
+    std::int32_t id = -1;
+    NodeId node = kInvalidNode;
+    bool terminal = false;
+    std::string name;
+
+    bool operator==(const TracePortInfo &) const = default;
+};
+
+/// Run configuration the checker audits against. Every field is parsed
+/// from the trace header — the checker never reads engine state.
+struct TraceMeta {
+    std::string topology; ///< topologyName() string ("dps", "mesh_x1", ...)
+    std::string mode;     ///< qosModeName() string ("pvc", "gsf", ...)
+    int nodes = 0;
+    int injectorsPerNode = 0;
+    int flows = 0;
+
+    // PVC bounds.
+    Cycle frameLen = 0;
+    bool quotaEnabled = false;
+    double quotaProtect = 1.5;
+    int windowLimit = 0;
+
+    // GSF bounds.
+    Cycle gsfFrameLen = 0;
+    int gsfFrames = 0;
+
+    /// Per-flow provisioned weights; empty = all equal.
+    std::vector<std::uint32_t> weights;
+
+    // Audit bounds (qos/audit.h defaults, frozen into the trace).
+    Cycle maxAge = 0;     ///< 0 = skip the age audit
+    double wrrTol = 0.5;  ///< WRR share tolerance (fraction of expected)
+
+    // Run framing.
+    Cycle measureStart = 0;
+    Cycle measureEnd = 0;
+    Cycle endCycle = 0;
+    bool drained = false;
+
+    std::uint64_t weightOf(FlowId flow) const
+    {
+        if (weights.empty())
+            return 1;
+        if (flow < 0 || static_cast<std::size_t>(flow) >= weights.size())
+            return 1;
+        return weights[static_cast<std::size_t>(flow)];
+    }
+
+    std::uint64_t sumWeights() const
+    {
+        if (weights.empty())
+            return static_cast<std::uint64_t>(flows);
+        std::uint64_t sum = 0;
+        for (auto w : weights)
+            sum += w;
+        return sum;
+    }
+
+    bool operator==(const TraceMeta &) const = default;
+};
+
+struct FlitTrace {
+    TraceMeta meta;
+    std::vector<TracePortInfo> ports;
+    std::vector<TraceEvent> events;
+
+    bool operator==(const FlitTrace &) const = default;
+};
+
+/// Serialize to the versioned text format.
+void writeFlitTrace(std::ostream &os, const FlitTrace &trace);
+std::string serializeFlitTrace(const FlitTrace &trace);
+
+/// Parse a trace. Returns false (with a line-numbered `error`) on any
+/// malformed, unknown-version, or truncated input — never throws or
+/// crashes on corrupt data.
+bool parseFlitTrace(std::istream &is, FlitTrace &out, std::string &error);
+bool parseFlitTrace(const std::string &text, FlitTrace &out,
+                    std::string &error);
+
+/// File convenience wrappers.
+bool saveFlitTrace(const std::string &path, const FlitTrace &trace,
+                   std::string &error);
+bool loadFlitTrace(const std::string &path, FlitTrace &out,
+                   std::string &error);
+
+} // namespace taqos

@@ -1,6 +1,9 @@
 /// Failure injection and randomized stress: kill random in-flight packets
 /// mid-run (as hostile preemptions), randomize configurations, and verify
 /// the flow-control invariants and end-to-end delivery guarantees survive.
+/// Every scenario runs under both engines (activity-driven and the
+/// always-tick reference) with the independent trace checker
+/// (verify/checker.h) as an end-to-end oracle.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -8,7 +11,9 @@
 
 #include "common/rng.h"
 #include "sim/column_sim.h"
+#include "sim/trace_record.h"
 #include "traffic/workloads.h"
+#include "verify/checker.h"
 
 namespace taqos {
 namespace {
@@ -35,19 +40,30 @@ inFlightPackets(ColumnNetwork &net)
     return pkts;
 }
 
-class SimFuzz : public ::testing::TestWithParam<TopologyKind> {};
+/// (topology, activity-driven?) — every fuzz scenario runs on both
+/// engines so the oracle pins their behavior independently.
+class SimFuzz
+    : public ::testing::TestWithParam<std::tuple<TopologyKind, bool>> {
+  protected:
+    TopologyKind topology() const { return std::get<0>(GetParam()); }
+    bool activityDriven() const { return std::get<1>(GetParam()); }
+};
 
 TEST_P(SimFuzz, RandomKillsNeverCorruptState)
 {
     ColumnConfig col;
-    col.topology = GetParam();
+    col.topology = topology();
     TrafficConfig t;
     t.pattern = TrafficPattern::UniformRandom;
     t.injectionRate = 0.08;
     t.genUntil = 12000;
     ColumnSim sim(col, t);
+    sim.setActivityDriven(activityDriven());
 
-    Rng rng(0xdead + static_cast<std::uint64_t>(GetParam()));
+    TraceRecorder rec(describeColumn(col));
+    sim.attachTraceSink(&rec);
+
+    Rng rng(0xdead + static_cast<std::uint64_t>(topology()));
     AckNetwork scratchAck; // unused: kills go through the sim's plumbing
 
     std::uint64_t kills = 0;
@@ -92,14 +108,25 @@ TEST_P(SimFuzz, RandomKillsNeverCorruptState)
     EXPECT_EQ(sim.metrics().deliveredPackets,
               sim.metrics().generatedPackets);
     sim.checkInvariants();
+
+    // Independent oracle: replay the trace through the checker. The
+    // injected kills are deliberately hostile (they ignore the PVC
+    // protected quota), so the QoS audit is off; every structural
+    // invariant — routes, conservation, VC exclusivity — must hold.
+    rec.finish(sim.now(), sim.drained());
+    CheckOptions opts;
+    opts.qosAudit = false;
+    const CheckReport report = verifyTrace(rec.trace(), opts);
+    EXPECT_TRUE(report.ok()) << report.firstDiagnostic();
+    EXPECT_GT(report.eventsChecked, 0u);
 }
 
 TEST_P(SimFuzz, RandomConfigurationsRun)
 {
-    Rng rng(42 + static_cast<std::uint64_t>(GetParam()));
+    Rng rng(42 + static_cast<std::uint64_t>(topology()));
     for (int trial = 0; trial < 6; ++trial) {
         ColumnConfig col;
-        col.topology = GetParam();
+        col.topology = topology();
         col.pvc.frameLen =
             static_cast<Cycle>(rng.nextRange(2000, 80000));
         col.pvc.windowLimit = static_cast<int>(rng.nextRange(2, 64));
@@ -116,9 +143,17 @@ TEST_P(SimFuzz, RandomConfigurationsRun)
         t.seed = rng.nextU64();
 
         ColumnSim sim(col, t);
+        sim.setActivityDriven(activityDriven());
+        TraceRecorder rec(describeColumn(sim.cfg()));
+        sim.attachTraceSink(&rec);
         sim.run(6000);
         sim.checkInvariants();
         EXPECT_GT(sim.metrics().deliveredPackets, 0u) << "trial " << trial;
+
+        rec.finish(sim.now(), sim.drained());
+        const CheckReport report = verifyTrace(rec.trace());
+        EXPECT_TRUE(report.ok())
+            << "trial " << trial << ": " << report.firstDiagnostic();
     }
 }
 
@@ -127,24 +162,34 @@ TEST_P(SimFuzz, ZeroAndExtremeSizes)
     // Degenerate columns and all-long / all-short packet mixes.
     for (double shortProb : {0.0, 1.0}) {
         ColumnConfig col;
-        col.topology = GetParam();
+        col.topology = topology();
         TrafficConfig t;
         t.shortPacketProb = shortProb;
         t.injectionRate = 0.05;
         t.genUntil = 4000;
         ColumnSim sim(col, t);
+        sim.setActivityDriven(activityDriven());
+        TraceRecorder rec(describeColumn(sim.cfg()));
+        sim.attachTraceSink(&rec);
         const Cycle done = sim.runUntilDrained(60000, 4000);
         ASSERT_NE(done, kNoCycle);
         EXPECT_EQ(sim.metrics().deliveredPackets,
                   sim.metrics().generatedPackets);
+
+        rec.finish(sim.now(), sim.drained());
+        const CheckReport report = verifyTrace(rec.trace());
+        EXPECT_TRUE(report.ok()) << report.firstDiagnostic();
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllTopologies, SimFuzz,
-                         ::testing::ValuesIn(kAllTopologies),
-                         [](const auto &info) {
-                             return std::string(topologyName(info.param));
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, SimFuzz,
+    ::testing::Combine(::testing::ValuesIn(kAllTopologies),
+                       ::testing::Bool()),
+    [](const auto &info) {
+        return std::string(topologyName(std::get<0>(info.param))) +
+               (std::get<1>(info.param) ? "_event" : "_tick");
+    });
 
 } // namespace
 } // namespace taqos

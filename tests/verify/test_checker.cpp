@@ -1,0 +1,525 @@
+/// Mutation coverage for the independent trace checker: for every
+/// invariant class a deliberately corrupted trace is flagged with a
+/// precise first-violation diagnostic, clean fixtures and clean live runs
+/// pass, and malformed/truncated inputs fail parsing gracefully.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "sim/column_sim.h"
+#include "sim/trace_record.h"
+#include "verify/checker.h"
+
+namespace taqos {
+namespace {
+
+// ------------------------------------------------------------ fixtures
+
+/// Port table of a synthetic 8-node column: for node n, port 2n is a
+/// network input and port 2n+1 the terminal.
+std::int32_t
+netPort(NodeId n)
+{
+    return 2 * n;
+}
+std::int32_t
+termPort(NodeId n)
+{
+    return 2 * n + 1;
+}
+
+/// Builds structurally legal synthetic traces: each packet gets a full
+/// J/R/H/D/F/A lifecycle on its own VC, and the event stream is sorted
+/// by cycle at the end (stable, so per-packet order is preserved).
+struct FixtureBuilder {
+    FlitTrace t;
+
+    explicit FixtureBuilder(const std::string &mode = "no-qos")
+    {
+        t.meta.topology = "dps";
+        t.meta.mode = mode;
+        t.meta.nodes = 8;
+        t.meta.injectorsPerNode = 8;
+        t.meta.flows = 64;
+        t.meta.endCycle = 100000;
+        t.meta.drained = true;
+        for (NodeId n = 0; n < 8; ++n) {
+            TracePortInfo net;
+            net.id = netPort(n);
+            net.node = n;
+            net.terminal = false;
+            net.name = "net_" + std::to_string(n);
+            t.ports.push_back(net);
+            TracePortInfo term;
+            term.id = termPort(n);
+            term.node = n;
+            term.terminal = true;
+            term.name = "term_" + std::to_string(n);
+            t.ports.push_back(term);
+        }
+    }
+
+    TraceEvent base(TraceEventKind kind, Cycle cycle, PacketId pkt)
+    {
+        TraceEvent e;
+        e.kind = kind;
+        e.cycle = cycle;
+        e.pkt = pkt;
+        return e;
+    }
+
+    void inject(PacketId pkt, FlowId flow, NodeId src, NodeId dst,
+                std::int32_t size, Cycle gen, Cycle cycle,
+                std::int32_t attempt = 1,
+                std::uint64_t frameTag = kTraceNoTag)
+    {
+        TraceEvent e = base(TraceEventKind::Inject, cycle, pkt);
+        e.node = src;
+        e.flow = flow;
+        e.src = src;
+        e.dst = dst;
+        e.size = size;
+        e.attempt = attempt;
+        e.gen = gen;
+        e.frameTag = frameTag;
+        t.events.push_back(e);
+    }
+
+    /// Full delivered lifecycle: inject at `inj`, eject at dst's terminal
+    /// at `del`. Each packet uses its id as VC index so concurrent
+    /// packets never collide.
+    void delivered(PacketId pkt, FlowId flow, NodeId src, NodeId dst,
+                   std::int32_t size, Cycle gen, Cycle inj, Cycle del)
+    {
+        inject(pkt, flow, src, dst, size, gen, inj);
+        const std::int32_t vc = static_cast<std::int32_t>(pkt);
+        TraceEvent r = base(TraceEventKind::VcReserve, inj, pkt);
+        r.port = termPort(dst);
+        r.vc = vc;
+        r.head = del;
+        r.tail = del + static_cast<Cycle>(size) - 1;
+        t.events.push_back(r);
+        TraceEvent h = base(TraceEventKind::Hop, inj, pkt);
+        h.node = src;
+        h.port = termPort(dst);
+        h.vc = vc;
+        t.events.push_back(h);
+        TraceEvent d = base(TraceEventKind::Deliver, del, pkt);
+        d.port = termPort(dst);
+        d.vc = vc;
+        t.events.push_back(d);
+        TraceEvent f = base(TraceEventKind::VcFree, del, pkt);
+        f.port = termPort(dst);
+        f.vc = vc;
+        t.events.push_back(f);
+        t.events.push_back(base(TraceEventKind::Retire, del, pkt));
+    }
+
+    /// Inject at `inj`, preempt-kill at `kill` (packet ends Dropped).
+    void killed(PacketId pkt, FlowId flow, NodeId src, NodeId dst,
+                std::int32_t size, Cycle inj, Cycle kill)
+    {
+        inject(pkt, flow, src, dst, size, inj, inj);
+        TraceEvent k = base(TraceEventKind::Kill, kill, pkt);
+        k.node = src;
+        t.events.push_back(k);
+        t.meta.drained = false; // a dropped packet never drains
+    }
+
+    FlitTrace build()
+    {
+        std::stable_sort(t.events.begin(), t.events.end(),
+                         [](const TraceEvent &a, const TraceEvent &b) {
+                             return a.cycle < b.cycle;
+                         });
+        return t;
+    }
+};
+
+// ------------------------------------------------- structural classes
+
+TEST(Checker, CleanSyntheticTracePasses)
+{
+    FixtureBuilder b;
+    b.delivered(1, 0, 0, 3, 4, 5, 10, 20);
+    b.delivered(2, 9, 1, 7, 1, 12, 25, 31);
+    b.delivered(3, 17, 2, 0, 4, 30, 40, 55);
+    const CheckReport report = verifyTrace(b.build());
+    EXPECT_TRUE(report.ok()) << report.firstDiagnostic();
+    EXPECT_EQ(report.eventsChecked, b.t.events.size());
+}
+
+TEST(Checker, BackwardsTimestampFlagged)
+{
+    FixtureBuilder b;
+    b.delivered(1, 0, 0, 3, 4, 5, 10, 20);
+    FlitTrace t = b.build();
+    t.events.back().cycle = 3; // retire before everything else happened
+    const CheckReport report = verifyTrace(t);
+    EXPECT_TRUE(report.has("timestamp")) << report.firstDiagnostic();
+}
+
+TEST(Checker, IllegalHopFlagged)
+{
+    FixtureBuilder b;
+    b.t.meta.drained = false;
+    b.inject(1, 0, 0, 3, 4, 5, 10);
+    TraceEvent r = b.base(TraceEventKind::VcReserve, 10, 1);
+    r.port = netPort(2);
+    r.vc = 0;
+    r.head = 12;
+    r.tail = 15;
+    b.t.events.push_back(r);
+    TraceEvent h = b.base(TraceEventKind::Hop, 10, 1);
+    h.node = 0; // node 0 -> node 2 skips node 1: not a mesh/DPS link
+    h.port = netPort(2);
+    h.vc = 0;
+    b.t.events.push_back(h);
+    const CheckReport report = verifyTrace(b.build());
+    EXPECT_TRUE(report.has("route")) << report.firstDiagnostic();
+}
+
+TEST(Checker, HopAwayFromDestinationFlagged)
+{
+    FixtureBuilder b;
+    b.t.meta.drained = false;
+    b.inject(1, 0, 3, 5, 4, 5, 10); // dst 5: progress means 3 -> 4
+    TraceEvent r = b.base(TraceEventKind::VcReserve, 10, 1);
+    r.port = netPort(2);
+    r.vc = 0;
+    r.head = 12;
+    r.tail = 15;
+    b.t.events.push_back(r);
+    TraceEvent h = b.base(TraceEventKind::Hop, 10, 1);
+    h.node = 3;
+    h.port = netPort(2); // neighbouring, but away from dst
+    h.vc = 0;
+    b.t.events.push_back(h);
+    const CheckReport report = verifyTrace(b.build());
+    EXPECT_TRUE(report.has("route")) << report.firstDiagnostic();
+}
+
+TEST(Checker, WrongTerminalEjectionFlagged)
+{
+    FixtureBuilder b;
+    // Delivered at node 2's terminal, but the packet is addressed to 3.
+    b.delivered(1, 0, 0, 3, 4, 5, 10, 20);
+    FlitTrace t = b.build();
+    for (TraceEvent &e : t.events) {
+        if (e.port == termPort(3))
+            e.port = termPort(2);
+    }
+    const CheckReport report = verifyTrace(t);
+    EXPECT_TRUE(report.has("route")) << report.firstDiagnostic();
+}
+
+TEST(Checker, DuplicateDeliveryFlagged)
+{
+    FixtureBuilder b;
+    b.delivered(1, 0, 0, 3, 4, 5, 10, 20);
+    FlitTrace t = b.build();
+    TraceEvent dup = t.events[3]; // the Deliver event
+    ASSERT_EQ(dup.kind, TraceEventKind::Deliver);
+    dup.cycle = 60;
+    t.events.push_back(dup);
+    const CheckReport report = verifyTrace(t);
+    EXPECT_TRUE(report.has("conservation")) << report.firstDiagnostic();
+}
+
+TEST(Checker, LostPacketFlagged)
+{
+    FixtureBuilder b;
+    b.delivered(1, 0, 0, 3, 4, 5, 10, 20);
+    b.inject(2, 1, 0, 5, 4, 6, 12); // injected, then vanishes
+    const CheckReport report = verifyTrace(b.build());
+    ASSERT_TRUE(report.has("conservation")) << report.firstDiagnostic();
+    EXPECT_EQ(report.violations.front().pkt, 2u);
+}
+
+TEST(Checker, AttemptSkipFlagged)
+{
+    FixtureBuilder b;
+    b.killed(1, 0, 0, 3, 4, 10, 50);
+    b.inject(1, 0, 0, 3, 4, 10, 80, /*attempt=*/3); // 2 went missing
+    const CheckReport report = verifyTrace(b.build());
+    EXPECT_TRUE(report.has("conservation")) << report.firstDiagnostic();
+}
+
+TEST(Checker, VcDoubleReserveFlagged)
+{
+    FixtureBuilder b;
+    b.t.meta.drained = false;
+    b.inject(1, 0, 0, 3, 4, 5, 10);
+    b.inject(2, 1, 1, 3, 4, 6, 11);
+    for (PacketId pkt : {PacketId(1), PacketId(2)}) {
+        TraceEvent r = b.base(TraceEventKind::VcReserve, 10 + pkt, pkt);
+        r.port = termPort(3);
+        r.vc = 0; // both land in the same VC
+        r.head = 20;
+        r.tail = 23;
+        b.t.events.push_back(r);
+    }
+    const CheckReport report = verifyTrace(b.build());
+    EXPECT_TRUE(report.has("vc-exclusivity")) << report.firstDiagnostic();
+}
+
+// ------------------------------------------------------- QoS audits
+
+TEST(Checker, PvcQuotaViolationFlagged)
+{
+    FixtureBuilder b("pvc");
+    b.t.meta.frameLen = 50000;
+    b.t.meta.quotaEnabled = true;
+    b.t.meta.quotaProtect = 1.5;
+    // Flow 0 has 4 flits in flight this frame — far inside its protected
+    // cap (1.5 x 50000/64 = 1171 flits) — so preempting it breaks the
+    // PVC guarantee.
+    b.killed(1, 0, 0, 3, 4, 100, 200);
+    const CheckReport report = verifyTrace(b.build());
+    ASSERT_TRUE(report.has("pvc-quota")) << report.firstDiagnostic();
+    const std::string diag = report.firstDiagnostic();
+    EXPECT_NE(diag.find("cycle 200"), std::string::npos) << diag;
+    EXPECT_NE(diag.find("pkt 1"), std::string::npos) << diag;
+}
+
+TEST(Checker, PvcKillBeyondQuotaAccepted)
+{
+    FixtureBuilder b("pvc");
+    b.t.meta.frameLen = 50000;
+    b.t.meta.quotaEnabled = true;
+    b.t.meta.quotaProtect = 1.5;
+    // Flow 0 floods 1200 flits into the frame (cap 1171): killing its
+    // latest packet is a legitimate preemption.
+    for (PacketId p = 1; p <= 300; ++p) {
+        b.inject(p, 0, 0, 3, 4, p, p);
+    }
+    b.t.meta.drained = false;
+    TraceEvent k = b.base(TraceEventKind::Kill, 400, 300);
+    k.node = 0;
+    b.t.events.push_back(k);
+    const CheckReport report = verifyTrace(b.build());
+    EXPECT_FALSE(report.has("pvc-quota")) << report.firstDiagnostic();
+}
+
+TEST(Checker, GsfBudgetOverrunFlagged)
+{
+    FixtureBuilder b("gsf");
+    b.t.meta.gsfFrameLen = 2000;
+    b.t.meta.gsfFrames = 4;
+    b.t.meta.drained = false;
+    // Budget is max(1, 2000/64) = 31 flits per frame; flow 0 charges 31
+    // and then injects again into the same frame.
+    b.inject(1, 0, 0, 3, 31, 5, 10, 1, /*frameTag=*/0);
+    b.inject(2, 0, 0, 3, 1, 6, 12, 1, /*frameTag=*/0);
+    const CheckReport report = verifyTrace(b.build());
+    EXPECT_TRUE(report.has("gsf-frame")) << report.firstDiagnostic();
+}
+
+TEST(Checker, GsfWindowSpanFlagged)
+{
+    FixtureBuilder b("gsf");
+    b.t.meta.gsfFrameLen = 2000;
+    b.t.meta.gsfFrames = 4;
+    b.t.meta.drained = false;
+    // Frame 0 is still in flight (never delivered) when frame 5 is
+    // admitted: span 5 >= the 4-frame window.
+    b.inject(1, 0, 0, 3, 4, 5, 10, 1, /*frameTag=*/0);
+    b.inject(2, 1, 0, 3, 4, 6, 12, 1, /*frameTag=*/5);
+    const CheckReport report = verifyTrace(b.build());
+    EXPECT_TRUE(report.has("gsf-frame")) << report.firstDiagnostic();
+}
+
+TEST(Checker, AgeBoundOverrunFlagged)
+{
+    FixtureBuilder b("age");
+    b.t.meta.maxAge = 100;
+    b.delivered(1, 0, 0, 3, 4, /*gen=*/0, 10, /*del=*/500);
+    const CheckReport report = verifyTrace(b.build());
+    EXPECT_TRUE(report.has("age-bound")) << report.firstDiagnostic();
+}
+
+TEST(Checker, StarvedPacketFlaggedByAgeAudit)
+{
+    FixtureBuilder b("age");
+    b.t.meta.maxAge = 100;
+    b.t.meta.drained = false;
+    b.t.meta.endCycle = 5000;
+    b.inject(1, 0, 0, 3, 4, /*gen=*/0, 10); // still queued at cycle 5000
+    const CheckReport report = verifyTrace(b.build());
+    EXPECT_TRUE(report.has("age-bound")) << report.firstDiagnostic();
+}
+
+TEST(Checker, WrrShareViolationFlagged)
+{
+    FixtureBuilder b("wrr");
+    b.t.meta.flows = 2;
+    b.t.meta.wrrTol = 0.5;
+    b.t.meta.measureStart = 0;
+    b.t.meta.measureEnd = 1000;
+    b.t.meta.drained = false;
+    // Both flows are backlogged across the whole window (coverage packets
+    // generated at 0, injected only at 1000), but flow 0 receives 80
+    // delivered flits to flow 1's 8 — far outside the 50% tolerance of
+    // the equal-weight 44-flit share.
+    PacketId next = 1;
+    for (int i = 0; i < 20; ++i) {
+        const Cycle del = 20 + static_cast<Cycle>(i) * 40;
+        b.delivered(next++, 0, 0, 3, 4, del - 15, del - 10, del);
+    }
+    for (int i = 0; i < 2; ++i) {
+        const Cycle del = 100 + static_cast<Cycle>(i) * 400;
+        b.delivered(next++, 1, 1, 3, 4, del - 15, del - 10, del);
+    }
+    b.inject(next++, 0, 0, 3, 4, /*gen=*/0, /*cycle=*/1000);
+    b.inject(next++, 1, 1, 3, 4, /*gen=*/0, /*cycle=*/1000);
+    const CheckReport report = verifyTrace(b.build());
+    EXPECT_TRUE(report.has("wrr-weight")) << report.firstDiagnostic();
+}
+
+TEST(Checker, WrrBalancedSharesPass)
+{
+    FixtureBuilder b("wrr");
+    b.t.meta.flows = 2;
+    b.t.meta.wrrTol = 0.5;
+    b.t.meta.measureStart = 0;
+    b.t.meta.measureEnd = 1000;
+    b.t.meta.drained = false;
+    PacketId next = 1;
+    for (FlowId f = 0; f < 2; ++f) {
+        for (int i = 0; i < 10; ++i) {
+            const Cycle del = 30 + static_cast<Cycle>(i) * 90 +
+                              static_cast<Cycle>(f);
+            b.delivered(next++, f, f, 3, 4, del - 15, del - 10, del);
+        }
+        b.inject(next++, f, f, 3, 4, /*gen=*/0, /*cycle=*/1000);
+    }
+    const CheckReport report = verifyTrace(b.build());
+    EXPECT_FALSE(report.has("wrr-weight")) << report.firstDiagnostic();
+}
+
+// ----------------------------------------- QoS audits can be disabled
+
+TEST(Checker, QosAuditOptOutSkipsPolicyChecks)
+{
+    FixtureBuilder b("pvc");
+    b.t.meta.frameLen = 50000;
+    b.t.meta.quotaEnabled = true;
+    b.killed(1, 0, 0, 3, 4, 100, 200); // would be a pvc-quota violation
+    CheckOptions opts;
+    opts.qosAudit = false;
+    const CheckReport report = verifyTrace(b.build(), opts);
+    EXPECT_TRUE(report.ok()) << report.firstDiagnostic();
+}
+
+// -------------------------------------------- corrupt / truncated input
+
+TEST(Checker, TruncatedTraceFailsParsingGracefully)
+{
+    FixtureBuilder b;
+    b.delivered(1, 0, 0, 3, 4, 5, 10, 20);
+    b.delivered(2, 9, 1, 7, 1, 12, 25, 31);
+    const std::string text = serializeFlitTrace(b.build());
+
+    FlitTrace out;
+    std::string error;
+    // Cut at an event boundary: the stream ends early and the parser
+    // reports the shortfall against the declared event count.
+    const auto lastLine = text.rfind('\n', text.size() - 2);
+    ASSERT_NE(lastLine, std::string::npos);
+    ASSERT_FALSE(parseFlitTrace(text.substr(0, lastLine + 1), out, error));
+    EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+
+    // Cut mid-line (a torn write): still a clean diagnostic, no crash.
+    ASSERT_FALSE(parseFlitTrace(text.substr(0, text.size() / 2), out,
+                                error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Checker, CorruptEventLineFailsParsingGracefully)
+{
+    FixtureBuilder b;
+    b.delivered(1, 0, 0, 3, 4, 5, 10, 20);
+    std::string text = serializeFlitTrace(b.build());
+    const auto pos = text.find("\nJ ");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos + 1, 1, "Z"); // unknown event kind
+    FlitTrace out;
+    std::string error;
+    ASSERT_FALSE(parseFlitTrace(text, out, error));
+    EXPECT_NE(error.find("line"), std::string::npos) << error;
+}
+
+TEST(Checker, BadMagicAndEmptyInputRejected)
+{
+    FlitTrace out;
+    std::string error;
+    EXPECT_FALSE(parseFlitTrace(std::string("not-a-trace 1\n"), out, error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parseFlitTrace(std::string(), out, error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Checker, MissingFileReportsParseError)
+{
+    const FileCheckResult res =
+        verifyTraceFile("/nonexistent/taqos-trace.txt");
+    EXPECT_FALSE(res.parseOk);
+    EXPECT_FALSE(res.parseError.empty());
+}
+
+// ------------------------------------------------------ live-run audits
+
+/// A clean fig4-style smoke cell audits violation-free under both
+/// engines, and a corrupted copy of the same real trace is caught.
+class CheckerLive : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CheckerLive, CleanSmokeRunAuditsCleanly)
+{
+    const ColumnConfig col = [] {
+        ColumnConfig c;
+        c.topology = TopologyKind::Dps;
+        c.mode = QosMode::Pvc;
+        c.canonicalize();
+        return c;
+    }();
+    TrafficConfig t;
+    t.pattern = TrafficPattern::UniformRandom;
+    t.injectionRate = 0.05;
+    t.genUntil = 6000;
+
+    ColumnSim sim(col, t);
+    sim.setActivityDriven(GetParam());
+    sim.setMeasureWindow(2000, 6000);
+    TraceRecorder rec(describeColumn(sim.cfg()));
+    rec.setMeasureWindow(2000, 6000);
+    sim.attachTraceSink(&rec);
+
+    const Cycle done = sim.runUntilDrained(100000, 6000);
+    ASSERT_NE(done, kNoCycle);
+    rec.finish(sim.now(), sim.drained());
+
+    const CheckReport report = verifyTrace(rec.trace());
+    EXPECT_TRUE(report.ok()) << report.firstDiagnostic();
+    EXPECT_GT(report.eventsChecked, 1000u);
+
+    // Mutate the real trace: drop one delivery — the packet is now lost.
+    FlitTrace corrupt = rec.trace();
+    const auto it = std::find_if(
+        corrupt.events.begin(), corrupt.events.end(),
+        [](const TraceEvent &e) {
+            return e.kind == TraceEventKind::Deliver;
+        });
+    ASSERT_NE(it, corrupt.events.end());
+    corrupt.events.erase(it);
+    EXPECT_FALSE(verifyTrace(corrupt).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, CheckerLive, ::testing::Bool(),
+                         [](const auto &info) {
+                             return info.param ? std::string("event")
+                                               : std::string("tick");
+                         });
+
+} // namespace
+} // namespace taqos
