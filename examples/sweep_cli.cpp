@@ -17,6 +17,9 @@
 ///   reps=N seed=S mix=0|1
 ///   warmup=C measure=C drain=C gencycles=C
 ///   threads=N            (0 = hardware concurrency)
+///   shards=N             intra-run shard threads per cell (default 1;
+///                        bit-identical output — the runner divides the
+///                        machine between cell workers and shards)
 ///   out=path.json        (write the taqos-sweep/v1 record)
 ///   name=label
 ///
@@ -219,6 +222,8 @@ main(int argc, char **argv)
         spec.genCycles =
             static_cast<Cycle>(opts.getInt("gencycles", 100000));
     }
+
+    spec.shards = static_cast<int>(opts.getInt("shards", 1));
 
     const int threads = static_cast<int>(opts.getInt("threads", 0));
     const SweepRunner runner(threads);

@@ -19,6 +19,8 @@
 ///   seed=S
 ///   warmup=C measure=C drain=C                    (default 2000/6000/4000)
 ///   legacy=1      use the always-tick reference engine
+///   shards=N      run the sharded engine on N threads (bit-identical;
+///                 the audit exercises its recorded trace)
 ///
 /// Examples:
 ///   verify_cli audit topo=dps mode=pvc rate=0.05
@@ -44,6 +46,7 @@ struct RunOptions {
     TrafficConfig traffic;
     RunPhases phases = testPhases();
     bool legacy = false;
+    int shards = 1;
     std::string out;
 };
 
@@ -104,6 +107,8 @@ parseRunOptions(const std::vector<std::string> &args)
             run.phases.drain = std::strtoull(val.c_str(), nullptr, 10);
         } else if (key == "legacy") {
             run.legacy = std::atoi(val.c_str()) != 0;
+        } else if (key == "shards") {
+            run.shards = std::atoi(val.c_str());
         } else if (key == "out") {
             run.out = val;
         } else {
@@ -126,6 +131,8 @@ recordRun(const RunOptions &run)
     ColumnSim sim(col, traffic);
     if (run.legacy)
         sim.setActivityDriven(false);
+    if (run.shards > 1)
+        sim.setShards(run.shards);
     sim.setMeasureWindow(run.phases.warmup, run.phases.measureEnd());
 
     TraceRecorder rec(describeColumn(col));

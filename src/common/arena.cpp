@@ -1,0 +1,21 @@
+#include "common/arena.h"
+
+namespace taqos {
+
+namespace {
+HotLayout gHotLayout = HotLayout::Arena;
+} // namespace
+
+HotLayout
+hotLayout()
+{
+    return gHotLayout;
+}
+
+void
+setHotLayout(HotLayout layout)
+{
+    gHotLayout = layout;
+}
+
+} // namespace taqos

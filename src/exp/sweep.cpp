@@ -14,6 +14,7 @@
 #include "exp/json_writer.h"
 #include "sim/chip_sim.h"
 #include "sim/column_sim.h"
+#include "sim/shard_plan.h"
 #include "traffic/workloads.h"
 
 namespace taqos {
@@ -85,6 +86,7 @@ runLatencyLoadCell(const CellSpec &cell)
     traffic.injectionRate = cell.rate;
     traffic.seed = cell.seed;
     ColumnSim sim(col, traffic);
+    sim.setShards(cell.shards);
     sim.setMeasureWindow(cell.phases.warmup, cell.phases.measureEnd());
     sim.run(cell.phases.total());
 
@@ -108,6 +110,7 @@ runHotspotCell(const CellSpec &cell)
     TrafficConfig traffic = makeHotspotAll(col, cell.rate);
     traffic.seed = cell.seed;
     ColumnSim sim(col, traffic);
+    sim.setShards(cell.shards);
     sim.setMeasureWindow(cell.phases.warmup, cell.phases.measureEnd());
     sim.run(cell.phases.total());
 
@@ -143,6 +146,7 @@ runAdversarialCell(const CellSpec &cell)
     finite.seed = cell.seed;
 
     ColumnSim sim(col, finite);
+    sim.setShards(cell.shards);
     sim.setMeasureWindow(0, gen);
     const Cycle done = sim.runUntilDrained(budget, gen);
     TAQOS_ASSERT(done != kNoCycle, "%s: run did not drain",
@@ -153,6 +157,7 @@ runAdversarialCell(const CellSpec &cell)
     ColumnConfig colRef = col;
     colRef.mode = QosMode::PerFlowQueue;
     ColumnSim ref(colRef, finite);
+    ref.setShards(cell.shards);
     ref.setMeasureWindow(0, gen);
     const Cycle doneRef = ref.runUntilDrained(budget, gen);
     TAQOS_ASSERT(doneRef != kNoCycle, "%s: reference run did not drain",
@@ -243,6 +248,7 @@ runChipConsolidationCell(const CellSpec &cell)
     }
 
     ChipSim sim(cfg, traffic);
+    sim.setShards(cell.shards);
     sim.setMeasureWindow(cell.phases.warmup, cell.phases.measureEnd());
     const Cycle drain =
         sim.runUntilDrained(cell.phases.total() * 4, traffic.genUntil);
@@ -368,6 +374,8 @@ SweepSpec::canonical() const
         c.rates = {0.05};
     if (c.replicates < 1)
         c.replicates = 1;
+    if (c.shards < 1)
+        c.shards = 1;
 
     // Axes a scenario does not consume are collapsed to a single
     // canonical value so they never multiply the grid.
@@ -423,6 +431,7 @@ SweepSpec::expand() const
                                 cell.replicate = rep;
                                 cell.phases = c.phases;
                                 cell.genCycles = c.genCycles;
+                                cell.shards = c.shards;
                                 cell.seed = cellSeed(c, cell);
                                 cells.push_back(cell);
                             }
@@ -595,8 +604,11 @@ SweepRunner::run(const SweepSpec &spec) const
     const std::vector<CellSpec> cells = result.spec.expand();
     result.cells.resize(cells.size());
 
-    const int workers = static_cast<int>(std::min<std::size_t>(
-        static_cast<std::size_t>(threads_), cells.size()));
+    // Cell workers x intra-run shards must fit the machine (see the
+    // class comment for the precedence rules).
+    const int workers =
+        sweepWorkerBudget(threads_, cells.size(), result.spec.shards,
+                          std::thread::hardware_concurrency());
     if (workers <= 1) {
         for (std::size_t i = 0; i < cells.size(); ++i)
             result.cells[i] = runCell(cells[i]);

@@ -71,6 +71,10 @@ struct CellSpec {
     std::uint64_t seed = 0; ///< traffic seed for this cell
     RunPhases phases;
     Cycle genCycles = 100000; ///< Adversarial generation horizon
+    /// Intra-run shard threads (NetSim::setShards). An execution knob
+    /// like the runner's thread count: bit-identical results by the
+    /// sharding contract, so it is neither serialized nor seed-mixed.
+    int shards = 1;
 };
 
 /// Scalar metrics one cell produced, in a stable emission order.
@@ -112,6 +116,8 @@ struct SweepSpec {
 
     RunPhases phases;
     Cycle genCycles = 100000;
+    /// Intra-run shard threads, copied to every cell (see CellSpec).
+    int shards = 1;
 
     /// Copy with defaults filled in and unused axes collapsed.
     SweepSpec canonical() const;
@@ -152,6 +158,12 @@ struct SweepResult {
 
 /// Executes the cells of a spec on a thread pool. Stateless between runs;
 /// safe to reuse.
+///
+/// Thread budgeting: cell-level workers multiply with the spec's
+/// intra-run `shards`, so run() caps the worker count at
+/// hardware_concurrency / shards (sweepWorkerBudget in
+/// sim/shard_plan.h). An explicit `numThreads` takes precedence up to
+/// that cap; shards take the remainder of the machine.
 class SweepRunner {
   public:
     /// `numThreads` <= 0 selects std::thread::hardware_concurrency().

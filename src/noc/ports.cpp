@@ -50,8 +50,8 @@ InputPort::attachVcs()
 void
 InputPort::onVcReserved(VirtualChannel &vc)
 {
-    ++occupied_;
-    ++mutEpoch_;
+    ++hot_->occupied;
+    ++hot_->mutEpoch;
     if (trace != nullptr) {
         trace->vcReserved(*this, vcIndex(vc), *vc.packet(),
                           vc.headArrival(), vc.tailArrival());
@@ -63,9 +63,10 @@ InputPort::onVcReserved(VirtualChannel &vc)
 void
 InputPort::onVcFreed(VirtualChannel &vc, NetPacket *freed)
 {
-    --occupied_;
-    ++mutEpoch_;
-    TAQOS_ASSERT(occupied_ >= 0, "occupancy underflow on %s", name.c_str());
+    --hot_->occupied;
+    ++hot_->mutEpoch;
+    TAQOS_ASSERT(hot_->occupied >= 0, "occupancy underflow on %s",
+                 name.c_str());
     if (trace != nullptr && freed != nullptr)
         trace->vcFreed(*this, vcIndex(vc), *freed);
     if (owner != nullptr)
@@ -75,7 +76,7 @@ InputPort::onVcFreed(VirtualChannel &vc, NetPacket *freed)
 void
 InputPort::onVcDrained(VirtualChannel &vc)
 {
-    ++mutEpoch_;
+    ++hot_->mutEpoch;
     if (trace != nullptr)
         trace->vcDrained(*this, vcIndex(vc), *vc.packet());
     // Still occupied (the packet stays resident until its tail departs),
@@ -87,7 +88,7 @@ InputPort::onVcDrained(VirtualChannel &vc)
 void
 InputPort::onInjectorEnqueue(InjectorQueue &inj, bool headChanged)
 {
-    ++queuedPkts_;
+    ++hot_->queuedPkts;
     if (owner != nullptr)
         owner->noteInjectorEnqueue(inj, headChanged);
 }
@@ -95,8 +96,8 @@ InputPort::onInjectorEnqueue(InjectorQueue &inj, bool headChanged)
 void
 InputPort::onInjectorDequeue(InjectorQueue &inj)
 {
-    --queuedPkts_;
-    TAQOS_ASSERT(queuedPkts_ >= 0, "queued-packet underflow on %s",
+    --hot_->queuedPkts;
+    TAQOS_ASSERT(hot_->queuedPkts >= 0, "queued-packet underflow on %s",
                  name.c_str());
     if (owner != nullptr)
         owner->noteInjectorDequeue(inj);

@@ -21,10 +21,12 @@
 /// which the engine uses to skip idle ejection scans.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/types.h"
 #include "noc/packet.h"
 #include "noc/vc.h"
@@ -34,6 +36,16 @@ namespace taqos {
 class InputPort;
 class Router;
 class TraceSink;
+
+/// The per-input-port counters the tick loop reads every cycle. Each port
+/// carries one inline (standalone fixtures), and Network::packHotState
+/// re-binds all ports of a fabric onto one contiguous node-ordered array.
+struct PortHot {
+    int occupied = 0;   ///< VCs currently not Free
+    int queuedPkts = 0; ///< packets across the port's injector queues
+    /// Bumped on every VC state transition (preemption-memo key).
+    std::uint64_t mutEpoch = 0;
+};
 
 /// One traffic source (terminal or row input). The queue head is the only
 /// injectable packet; `outstanding` enforces the PVC retransmission window.
@@ -137,7 +149,10 @@ class InputPort {
     /// not recording; wired by Network::setTraceSink).
     TraceSink *trace = nullptr;
 
-    std::vector<VirtualChannel> vcs;
+    /// VC storage. Arena-backed once the network packs its hot state
+    /// (growth under unbounded VCs then also draws from the arena); all
+    /// cross-references into it are index-based, so relocation is safe.
+    ArenaVec<VirtualChannel> vcs;
 
     /// Only for Kind::Injection: the sources multiplexed onto this port.
     std::vector<InjectorQueue *> injectors;
@@ -159,10 +174,14 @@ class InputPort {
     /// VCs currently not Free — maintained by the VirtualChannel hooks
     /// once attachVcs() has run, so the engine and the candidate scan can
     /// skip empty ports without touching the VC array.
-    int occupied() const { return occupied_; }
+    int occupied() const { return hot_->occupied; }
 
     /// Packets queued across this injection port's injector queues.
-    int queuedPackets() const { return queuedPkts_; }
+    int queuedPackets() const { return hot_->queuedPkts; }
+
+    /// Re-home the hot counters onto `hot` (the network's contiguous
+    /// per-port array), carrying the current values over.
+    void bindHot(PortHot *hot) { hot_ = new (hot) PortHot(*hot_); }
 
     /// Point every VC of this port back at it (idempotent; called from
     /// Network::finalizeRouters; unbounded-VC growth self-attaches).
@@ -193,12 +212,11 @@ class InputPort {
     /// Bumped on every VC state transition. The preemption victim search
     /// keys its "no victim here last time" memo on it (ports without an
     /// owning router — terminals, handoffs — included).
-    std::uint64_t mutEpoch() const { return mutEpoch_; }
+    std::uint64_t mutEpoch() const { return hot_->mutEpoch; }
 
   private:
-    int occupied_ = 0;
-    int queuedPkts_ = 0;
-    std::uint64_t mutEpoch_ = 0;
+    PortHot localHot_;
+    PortHot *hot_ = &localHot_;
 };
 
 class OutputPort {

@@ -137,7 +137,7 @@ Router::updateInjectorSlot(InjectorQueue &inj)
 void
 Router::noteVcReserved(InputPort *in, int vcIdx)
 {
-    ++occupiedVcs_;
+    ++hot_->occupiedVcs;
     addVcSlot(in, vcIdx);
     arm();
 }
@@ -145,8 +145,8 @@ Router::noteVcReserved(InputPort *in, int vcIdx)
 void
 Router::noteVcFreed(InputPort *in, VirtualChannel &vc)
 {
-    --occupiedVcs_;
-    TAQOS_ASSERT(occupiedVcs_ >= 0, "router %d VC-occupancy underflow",
+    --hot_->occupiedVcs;
+    TAQOS_ASSERT(hot_->occupiedVcs >= 0, "router %d VC-occupancy underflow",
                  node_);
     // A Draining VC already surrendered its slot; a Reserved one (kill,
     // terminal ejection at a router-owned port) still holds it.
@@ -167,7 +167,7 @@ Router::noteVcDrained(InputPort *in, VirtualChannel &vc)
 void
 Router::noteInjectorEnqueue(InjectorQueue &inj, bool headChanged)
 {
-    ++queuedPkts_;
+    ++hot_->queuedPkts;
     if (headChanged)
         updateInjectorSlot(inj);
     arm();
@@ -176,8 +176,8 @@ Router::noteInjectorEnqueue(InjectorQueue &inj, bool headChanged)
 void
 Router::noteInjectorDequeue(InjectorQueue &inj)
 {
-    --queuedPkts_;
-    TAQOS_ASSERT(queuedPkts_ >= 0, "router %d queued-packet underflow",
+    --hot_->queuedPkts;
+    TAQOS_ASSERT(hot_->queuedPkts >= 0, "router %d queued-packet underflow",
                  node_);
     updateInjectorSlot(inj);
 }
@@ -193,17 +193,17 @@ Router::noteInjectorWindowChange(InjectorQueue &inj)
 void
 Router::noteXferStarted(Cycle tailDepart)
 {
-    ++activeXfers_;
-    if (tailDepart < nextCompletion_)
-        nextCompletion_ = tailDepart;
+    ++hot_->activeXfers;
+    if (tailDepart < hot_->nextCompletion)
+        hot_->nextCompletion = tailDepart;
     arm();
 }
 
 void
 Router::noteXferEnded()
 {
-    --activeXfers_;
-    TAQOS_ASSERT(activeXfers_ >= 0, "router %d transfer-count underflow",
+    --hot_->activeXfers;
+    TAQOS_ASSERT(hot_->activeXfers >= 0, "router %d transfer-count underflow",
                  node_);
 }
 
@@ -385,7 +385,7 @@ Router::collectCandidates(TickContext &ctx)
     }
 }
 
-void
+bool
 Router::collectOutput(int outPort, TickContext &ctx)
 {
     Candidate &best = best_[static_cast<std::size_t>(outPort)];
@@ -410,8 +410,24 @@ Router::collectOutput(int outPort, TickContext &ctx)
                     wake = at;
                 continue;
             }
-            if (ctx.gate != nullptr && !ctx.gate->admit(*pkt, ctx.now))
-                continue;
+            if (ctx.gate != nullptr) {
+                // A gate admission may mutate engine-global state (GSF
+                // charges a frame budget and stamps the packet). The
+                // sharded parallel scan must not do that — both for
+                // determinism (admissions are ordered by node) and
+                // because the gate is shared across regions — so it only
+                // proceeds when the gate vouches the call is pure;
+                // otherwise the whole output is left for the serial
+                // grant phase.
+                if (ctx.speculative) {
+                    if (!ctx.gate->admitIsPure(*pkt)) {
+                        best.pkt = nullptr;
+                        return false;
+                    }
+                } else if (!ctx.gate->admit(*pkt, ctx.now)) {
+                    continue;
+                }
+            }
         } else {
             const VirtualChannel &vc =
                 slot.port->vcs[static_cast<std::size_t>(slot.vc)];
@@ -443,6 +459,7 @@ Router::collectOutput(int outPort, TickContext &ctx)
     }
 
     outWake_[static_cast<std::size_t>(outPort)] = wake;
+    return true;
 }
 
 bool
@@ -756,10 +773,10 @@ Router::setTraceSink(TraceSink *sink)
 void
 Router::tickCompletions(Cycle now)
 {
-    // nextCompletion_ is a lower bound on the earliest active transfer's
+    // nextCompletion is a lower bound on the earliest active transfer's
     // tail departure (a cancellation can only raise the true minimum), so
     // ticks before it are exact no-ops for every output.
-    if (activeXfers_ == 0 || now < nextCompletion_)
+    if (hot_->activeXfers == 0 || now < hot_->nextCompletion)
         return;
     Cycle next = kNoCycle;
     for (const auto &out : outputs_) {
@@ -768,7 +785,7 @@ Router::tickCompletions(Cycle now)
         if (xfer.active && xfer.tailDepart < next)
             next = xfer.tailDepart;
     }
-    nextCompletion_ = next;
+    hot_->nextCompletion = next;
 }
 
 void
@@ -814,6 +831,48 @@ Router::tickArbitrate(TickContext &ctx)
         if (best_[o].pkt != nullptr)
             tryGrant(best_[o], ctx);
     }
+}
+
+void
+Router::tickScan(TickContext &ctx)
+{
+    TAQOS_ASSERT(ctx.speculative, "tickScan is the speculative scan phase");
+    if (!(anyOutDirty_ || ctx.now >= minWake_))
+        return;
+    // Same per-output rescan condition and summary recomputation as
+    // tickArbitrate's scan block. The scan's inputs are all router-local
+    // (own slot lists, own input VCs and injector queues, packet fields
+    // no concurrent phase writes), so regions can run it concurrently; a
+    // grant-phase event at another router that could change a result
+    // re-dirties the affected output through the hooks, re-scanning it
+    // serially at this router's turn — exactly when the serial engine
+    // would have scanned it.
+    Cycle minWake = kNoCycle;
+    int winners = 0;
+    bool aborted = false;
+    for (std::size_t o = 0; o < outputs_.size(); ++o) {
+        if (outDirty_[o] != 0 || ctx.now >= outWake_[o]) {
+            if (collectOutput(static_cast<int>(o), ctx)) {
+                outDirty_[o] = 0;
+            } else {
+                // Impure gate admission: the serial grant phase must
+                // redo this output with the real admit call. Force its
+                // rescan by keeping the dirty flag; the cleared best
+                // keeps the stale winner from being granted if the
+                // rescan finds the packet inadmissible.
+                outDirty_[o] = 1;
+                outWake_[o] = kNoCycle;
+                aborted = true;
+            }
+        }
+        if (outWake_[o] < minWake)
+            minWake = outWake_[o];
+        if (best_[o].pkt != nullptr)
+            ++winners;
+    }
+    anyOutDirty_ = aborted;
+    minWake_ = minWake;
+    winners_ = winners;
 }
 
 void

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/types.h"
 #include "noc/activity.h"
 #include "noc/metrics.h"
@@ -61,6 +62,26 @@ struct TickContext {
     /// no activity shortcuts (the bit-identity reference the activity-
     /// driven engine is checked against).
     bool forceScan = false;
+    /// Sharded engine's parallel scan phase: recompute cached winners
+    /// without any side effect outside this router. A scan that would
+    /// have to consult impure gate state (SourceGate::admit can charge a
+    /// GSF budget) aborts instead, leaving the output dirty for the
+    /// serial grant phase to rescan.
+    bool speculative = false;
+};
+
+/// The per-router counters and schedule bounds the engine consults every
+/// cycle before deciding whether the router can be skipped. One inline
+/// copy per router (standalone fixtures); Network::packHotState re-binds
+/// a fabric's routers onto one contiguous node-ordered array so the
+/// engine's sweep/merge walk stays on a few cache lines.
+struct alignas(64) RouterHot {
+    int occupiedVcs = 0;
+    int queuedPkts = 0;
+    int activeXfers = 0;
+    /// Lower bound on the earliest in-flight transfer completion
+    /// (kNoCycle when none): completion ticks before it are exact no-ops.
+    Cycle nextCompletion = kNoCycle;
 };
 
 class Router {
@@ -101,6 +122,15 @@ class Router {
     /// One simulation cycle, phase 2: VC allocation / preemption.
     void tickArbitrate(TickContext &ctx);
 
+    /// Sharded engine, parallel phase: refresh this router's cached
+    /// winner sets (the scan half of tickArbitrate) touching nothing
+    /// outside the router. ctx.speculative must be set. Outputs whose
+    /// scan would need an impure gate admission stay dirty; everything
+    /// else ends up exactly as a serial tickArbitrate would leave it
+    /// before its grant loop, so the subsequent serial grant phase takes
+    /// the cached-winner fast path.
+    void tickScan(TickContext &ctx);
+
     /// Both phases (single-router unit tests only).
     void tick(TickContext &ctx);
 
@@ -134,6 +164,9 @@ class Router {
 
     /// Register with the engine worklist (arms the router immediately).
     void setWorklist(ActivityWorklist *wl);
+    /// Sharded engine: point future arms at a per-region worklist without
+    /// touching the membership flag (the caller moves pending entries).
+    void rebindWorklist(ActivityWorklist *wl) { worklist_ = wl; }
     bool inWorklist() const { return inWorklist_; }
     /// Engine sweep: drop an idle router from the worklist.
     void leaveWorklist() { inWorklist_ = false; }
@@ -143,7 +176,18 @@ class Router {
     /// A router with none is a provable no-op and is skipped entirely.
     bool hasWork() const
     {
-        return occupiedVcs_ + queuedPkts_ + activeXfers_ > 0;
+        return hot_->occupiedVcs + hot_->queuedPkts + hot_->activeXfers > 0;
+    }
+
+    /// Re-home the hot counters onto `hot` (the network's contiguous
+    /// per-router array), carrying the current values over.
+    void bindHot(RouterHot *hot) { hot_ = new (hot) RouterHot(*hot_); }
+    /// Allocate all future arbitration-slot storage from `arena` and move
+    /// the current lists there.
+    void bindSlotArena(BumpArena *arena)
+    {
+        for (auto &list : slots_)
+            list.rebind(arena);
     }
 
     /// Policy state changed behind every output's back (frame flush, GSF
@@ -169,9 +213,9 @@ class Router {
     /// dirty several outputs.
     void noteTableMutated(int tableIdx);
 
-    int occupiedVcCount() const { return occupiedVcs_; }
-    int queuedPacketCount() const { return queuedPkts_; }
-    int activeXferCount() const { return activeXfers_; }
+    int occupiedVcCount() const { return hot_->occupiedVcs; }
+    int queuedPacketCount() const { return hot_->queuedPkts; }
+    int activeXferCount() const { return hot_->activeXfers; }
 
   private:
     struct Candidate {
@@ -201,7 +245,9 @@ class Router {
     /// outputs at once (the always-tick reference path).
     void collectCandidates(TickContext &ctx);
     /// Activity path: re-derive one output's winner from its slot list.
-    void collectOutput(int outPort, TickContext &ctx);
+    /// Returns false when a speculative scan had to abort on an impure
+    /// gate admission (the output must stay dirty; best is cleared).
+    bool collectOutput(int outPort, TickContext &ctx);
 
     void addVcSlot(InputPort *in, int vcIdx);
     void updateInjectorSlot(InjectorQueue &inj);
@@ -249,7 +295,7 @@ class Router {
     /// the legacy input-major scan would. `outWake_[o]` is the earliest
     /// cycle a currently-ineligible slot matures by time alone (kNoCycle
     /// = none pending); it starts at 0 so the first tick scans.
-    std::vector<std::vector<ArbSlot>> slots_;
+    std::vector<ArenaVec<ArbSlot>> slots_;
     std::vector<std::uint8_t> outDirty_;
     std::vector<Cycle> outWake_;
     /// tableIdx -> outputs charging it (replicated channels share).
@@ -262,10 +308,6 @@ class Router {
     bool anyOutDirty_ = true;
     Cycle minWake_ = 0;
     int winners_ = 0;
-
-    /// Lower bound on the earliest in-flight transfer completion
-    /// (kNoCycle when none): completion ticks before it are exact no-ops.
-    Cycle nextCompletion_ = kNoCycle;
 
     /// Mutation epoch: bumped by every state change the preemption victim
     /// search can observe on this router's side (slot changes, table
@@ -286,9 +328,8 @@ class Router {
 
     ActivityWorklist *worklist_ = nullptr;
     bool inWorklist_ = false;
-    int occupiedVcs_ = 0;
-    int queuedPkts_ = 0;
-    int activeXfers_ = 0;
+    RouterHot localHot_;
+    RouterHot *hot_ = &localHot_;
 
     void arm();
 };

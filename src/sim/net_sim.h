@@ -24,6 +24,28 @@
 /// golden-digest and toggle-equivalence tests pin. Engine phases 1-3 and
 /// 5 always run: time-driven policy state (the GSF frame window) must
 /// advance even when every router is idle.
+///
+/// setShards(N) splits phase 4 across N threads while staying
+/// bit-identical to the serial engines. The fabric is partitioned into N
+/// contiguous node-range regions (sim/shard_plan.h), each with a private
+/// worklist, and the cycle is restructured into:
+///   - a serial prelude (phases 1-3, unchanged);
+///   - one parallel dispatch per region: sweep and merge the region's
+///     worklist, run transfer completions over its active routers
+///     (mutations are router-local by construction), then run the
+///     *speculative* candidate scan (Router::tickScan) — a read-only
+///     rebuild of each router's cached winner set that defers any
+///     impure decision (an unstamped GSF admission) to the next phase;
+///   - a serial grant phase: tickArbitrate over every region's active
+///     list in region order, which — regions being contiguous and
+///     ascending — is exactly the serial engine's node order. Grants,
+///     preemptions and gate charges happen only here, so every
+///     cross-router effect is ordered as in the serial engine;
+///   - serial terminal ejection (phase 5, unchanged).
+/// When the live-router count is too small for the dispatch to pay for
+/// itself the same schedule runs inline (a state-derived, deterministic
+/// choice). With a trace sink attached, completions run serially so the
+/// recorded flit stream is byte-identical to the serial engines'.
 #pragma once
 
 #include <memory>
@@ -39,6 +61,8 @@
 #include "traffic/source.h"
 
 namespace taqos {
+
+class ShardPool;
 
 class NetSim {
   public:
@@ -70,6 +94,19 @@ class NetSim {
     /// and the hot-path ablation. Call before the first step.
     void setActivityDriven(bool on);
     bool activityDriven() const { return activityDriven_; }
+
+    /// Shard the router phase across `shards` threads (1 = serial, the
+    /// default). Bit-identical to the serial engine under either
+    /// setActivityDriven setting — see the file comment for the
+    /// schedule. Call before the first step.
+    void setShards(int shards);
+    int shards() const { return shards_; }
+
+    /// Minimum live routers per shard before a cycle is dispatched to
+    /// the pool rather than run inline (default 2; 0 forces the parallel
+    /// path every cycle — equivalence tests use it to exercise the pool
+    /// on workloads of any size).
+    void setShardMinActive(int n) { shardMinActive_ = n; }
 
     /// Open the measurement window [start, end): latency is recorded for
     /// packets generated inside it, per-flow throughput for deliveries
@@ -118,13 +155,35 @@ class NetSim {
     TraceSink *trace_ = nullptr; ///< flit-trace recorder (null = off)
 
   private:
+    /// One contiguous node range [begin, end) with its private activity
+    /// tracking; the engine owns one per shard.
+    struct Region {
+        NodeId begin = 0;
+        NodeId end = 0;
+        ActivityWorklist wl;         ///< arms raised by this region's nodes
+        std::vector<NodeId> active;  ///< sorted ids with work, in-range
+    };
+
     /// Fold newly-armed routers into the sorted active list (node order —
     /// the same relative order the always-tick engine visits).
     void mergeWorklist();
     /// Drop routers whose work drained this cycle.
     void sweepWorklist();
 
+    /// The sharded cycle (see file comment); step() delegates here when
+    /// setShards(N > 1) partitioned the fabric.
+    void stepSharded();
+    /// A region's parallel slice of the cycle: sweep + merge its
+    /// worklist, completions, then the speculative scan.
+    void regionPhase(Region &reg, TickContext &scanCtx);
+    void sweepRegion(Region &reg);
+    static void mergeRegion(Region &reg);
+
     std::vector<NodeId> active_; ///< sorted ids of routers with work
+    std::vector<Region> regions_;
+    std::unique_ptr<ShardPool> shardPool_;
+    int shards_ = 1;
+    int shardMinActive_ = 2;
 };
 
 } // namespace taqos

@@ -1,0 +1,71 @@
+#include "sim/shard_plan.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "topo/network.h"
+
+namespace taqos {
+
+std::vector<std::uint64_t>
+shardWeights(const Network &net)
+{
+    std::vector<std::uint64_t> weights;
+    weights.reserve(static_cast<std::size_t>(net.numNodes()));
+    for (NodeId n = 0; n < net.numNodes(); ++n) {
+        std::uint64_t w = 1;
+        for (const auto &in : net.router(n)->inputs())
+            w += in->vcs.size() + in->injectors.size();
+        weights.push_back(w);
+    }
+    return weights;
+}
+
+std::vector<std::pair<NodeId, NodeId>>
+planShardRanges(const std::vector<std::uint64_t> &weights, int shards)
+{
+    TAQOS_ASSERT(shards >= 1, "need at least one shard");
+    const int n = static_cast<int>(weights.size());
+    const int regions = std::min(shards, n);
+    std::vector<std::pair<NodeId, NodeId>> out;
+    if (regions <= 0)
+        return out;
+
+    std::uint64_t total = 0;
+    for (std::uint64_t w : weights)
+        total += w;
+
+    // Cut at the first node where the running prefix reaches the region's
+    // ideal share, reserving one node for every region still to come.
+    NodeId begin = 0;
+    std::uint64_t prefix = 0;
+    for (int k = 0; k < regions; ++k) {
+        const int maxEnd = n - (regions - 1 - k);
+        const std::uint64_t target =
+            total * static_cast<std::uint64_t>(k + 1) /
+            static_cast<std::uint64_t>(regions);
+        NodeId end = begin + 1;
+        prefix += weights[static_cast<std::size_t>(begin)];
+        while (end < maxEnd && prefix < target) {
+            prefix += weights[static_cast<std::size_t>(end)];
+            ++end;
+        }
+        out.emplace_back(begin, end);
+        begin = end;
+    }
+    TAQOS_ASSERT(out.back().second == n, "regions must cover every node");
+    return out;
+}
+
+int
+sweepWorkerBudget(int threads, std::size_t cells, int shards, unsigned hw)
+{
+    const int machine = std::max(1, static_cast<int>(hw));
+    const int cap = std::max(1, machine / std::max(1, shards));
+    int workers = threads > 0 ? std::min(threads, cap) : cap;
+    if (cells < static_cast<std::size_t>(workers))
+        workers = static_cast<int>(std::max<std::size_t>(1, cells));
+    return workers;
+}
+
+} // namespace taqos

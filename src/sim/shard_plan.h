@@ -1,0 +1,43 @@
+/// \file shard_plan.h
+/// Deterministic partitioning helpers for the sharded engine: split a
+/// fabric's node range into contiguous weight-balanced regions, and
+/// budget sweep-level worker threads against intra-run shard threads so
+/// the two levels of parallelism compose without oversubscribing the
+/// machine. Pure functions — unit-tested directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace taqos {
+
+class Network;
+
+/// Static per-node work estimate the region planner balances on: one unit
+/// of base cost plus one per VC and per injector queue at the node's
+/// input ports. Cheap, structural, and identical on every run.
+std::vector<std::uint64_t> shardWeights(const Network &net);
+
+/// Split nodes [0, weights.size()) into at most `shards` contiguous
+/// regions [begin, end) of near-equal total weight. Regions are ascending
+/// and non-empty (fewer than `shards` regions when there are fewer
+/// nodes); concatenating them in order yields the full node range, which
+/// is what keeps the sharded engine's per-region event order equal to
+/// the serial engine's global node order.
+std::vector<std::pair<NodeId, NodeId>>
+planShardRanges(const std::vector<std::uint64_t> &weights, int shards);
+
+/// Worker-thread budget for a sweep whose cells each run `shards`
+/// intra-run threads. Precedence: an explicit sweep-level request
+/// (`threads` > 0) is honoured, then capped so workers x shards never
+/// exceeds the machine (`hw`, as from std::thread::hardware_concurrency;
+/// 0 = unknown, treated as 1); `threads` <= 0 asks for the machine cap
+/// itself. Never more workers than cells, never fewer than one.
+int sweepWorkerBudget(int threads, std::size_t cells, int shards,
+                      unsigned hw);
+
+} // namespace taqos

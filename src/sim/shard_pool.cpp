@@ -1,0 +1,108 @@
+#include "sim/shard_pool.h"
+
+#include "common/assert.h"
+
+namespace taqos {
+
+namespace {
+
+constexpr std::uint64_t
+packTicket(std::uint64_t epoch, int limit)
+{
+    return (epoch << 32) | (static_cast<std::uint64_t>(limit) << 16);
+}
+
+} // namespace
+
+ShardPool::ShardPool(int extraWorkers)
+{
+    TAQOS_ASSERT(extraWorkers >= 0, "negative worker count");
+    threads_.reserve(static_cast<std::size_t>(extraWorkers));
+    for (int i = 0; i < extraWorkers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ShardPool::~ShardPool()
+{
+    quit_.store(true, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ShardPool::dispatch(int numTasks, const std::function<void(int)> &fn)
+{
+    if (numTasks <= 0)
+        return;
+    TAQOS_ASSERT(numTasks <= kMaxTasks, "task count overflows the ticket");
+    if (threads_.empty() || numTasks == 1) {
+        for (int t = 0; t < numTasks; ++t)
+            fn(t);
+        return;
+    }
+
+    // Publish the work before the ticket: a claim from the new ticket
+    // value (acquire) sees fn_ and the reset completion counter.
+    fn_ = &fn;
+    completed_.store(0, std::memory_order_relaxed);
+    const std::uint64_t epoch =
+        epoch_.load(std::memory_order_relaxed) + 1;
+    ticket_.store(packTicket(epoch, numTasks), std::memory_order_release);
+    epoch_.store(epoch, std::memory_order_release);
+    epoch_.notify_all();
+
+    drainTasks();
+
+    int done = completed_.load(std::memory_order_acquire);
+    while (done != numTasks) {
+        completed_.wait(done, std::memory_order_acquire);
+        done = completed_.load(std::memory_order_acquire);
+    }
+}
+
+void
+ShardPool::drainTasks()
+{
+    while (true) {
+        const std::uint64_t claim =
+            ticket_.fetch_add(1, std::memory_order_acquire);
+        const int index = static_cast<int>(claim & 0xffff);
+        const int limit = static_cast<int>((claim >> 16) & 0xffff);
+        if (index >= limit)
+            return; // dry (or a stale ticket from a finished dispatch)
+        (*fn_)(index);
+        if (completed_.fetch_add(1, std::memory_order_release) + 1 ==
+            limit) {
+            completed_.notify_all();
+        }
+    }
+}
+
+void
+ShardPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+        for (int spin = 0;
+             spin < kSpinBudget && epoch == seen &&
+             !quit_.load(std::memory_order_relaxed);
+             ++spin) {
+            epoch = epoch_.load(std::memory_order_acquire);
+        }
+        if (epoch == seen && !quit_.load(std::memory_order_acquire)) {
+            epoch_.wait(seen, std::memory_order_acquire);
+            epoch = epoch_.load(std::memory_order_acquire);
+        }
+        if (quit_.load(std::memory_order_acquire))
+            return;
+        if (epoch == seen)
+            continue; // spurious wake
+        seen = epoch;
+        drainTasks();
+    }
+}
+
+} // namespace taqos

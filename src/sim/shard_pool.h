@@ -1,0 +1,68 @@
+/// \file shard_pool.h
+/// The sharded engine's fork-join worker pool. Purpose-built for one
+/// pattern: once per cycle, run a handful of independent region tasks
+/// and wait for all of them.
+///
+/// Design constraints, in order:
+///   - Determinism needs nothing from the pool: tasks are mutually
+///     independent (each touches only its region's routers), so *which*
+///     thread runs a task never matters. Tasks are claimed from an
+///     atomic ticket; any interleaving yields the same simulation state.
+///   - Dispatch latency dominates (tasks are microseconds): workers spin
+///     briefly on the epoch word before parking in std::atomic::wait, so
+///     back-to-back cycles stay in user space while an idle or
+///     oversubscribed machine (CI runners, nproc < shards) pays a futex
+///     sleep instead of burning a core.
+///   - The calling thread participates: N-way sharding builds N-1
+///     workers, and shards=1 (or one task) degenerates to a plain loop
+///     with no atomics at all.
+///
+/// The claim ticket packs [epoch:32 | limit:16 | index:16] in one atomic
+/// so a straggler that wakes from a finished dispatch can never execute
+/// a stale or duplicated task: a claim carries the epoch it belongs to,
+/// and an index at or past its limit is simply no work.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace taqos {
+
+class ShardPool {
+  public:
+    /// `extraWorkers` background threads (the coordinator is the Nth).
+    explicit ShardPool(int extraWorkers);
+    ~ShardPool();
+    ShardPool(const ShardPool &) = delete;
+    ShardPool &operator=(const ShardPool &) = delete;
+
+    /// Run fn(0) .. fn(numTasks-1), each exactly once, across the
+    /// workers and the calling thread; returns once every call finished.
+    void dispatch(int numTasks, const std::function<void(int)> &fn);
+
+    int extraWorkers() const { return static_cast<int>(threads_.size()); }
+
+  private:
+    /// Spins on the epoch word before parking; tuned low — a miss costs
+    /// one futex round-trip, a hit saves it.
+    static constexpr int kSpinBudget = 256;
+    static constexpr int kMaxTasks = 0xffff;
+
+    void workerLoop();
+    /// Claim and run tasks until the ticket runs dry.
+    void drainTasks();
+
+    /// [epoch:32 | limit:16 | index:16]; fetch_add(1) claims an index.
+    std::atomic<std::uint64_t> ticket_{0};
+    /// Bumped per dispatch; workers wait on it.
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<int> completed_{0};
+    std::atomic<bool> quit_{false};
+    const std::function<void(int)> *fn_ = nullptr;
+    std::vector<std::thread> threads_;
+};
+
+} // namespace taqos

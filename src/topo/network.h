@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "noc/activity.h"
 #include "noc/ports.h"
 #include "qos/policy.h"
@@ -129,8 +130,14 @@ class Network {
     /// tracking: VC-to-port back-pointers (incremental occupancy),
     /// injector-to-port back-pointers (enqueue arming), and the shared
     /// worklist every router initially arms onto. Builders must call this
-    /// once, after the full port structure exists.
+    /// once, after the full port structure exists. Under the default
+    /// HotLayout::Arena it then packs the per-router hot state (see
+    /// packHotState).
     void finalizeRouters();
+
+    /// Bytes of hot state packed into the network-owned arena (0 under
+    /// HotLayout::ObjectGraph, or before finalizeRouters).
+    std::size_t hotArenaBytes() const { return arena_.bytesAllocated(); }
 
     /// Next unused flow-table id on `r` (builders group replicated
     /// channels under one id; everything else gets its own).
@@ -150,6 +157,21 @@ class Network {
     std::vector<int> termOutIdx_;
     std::vector<InputPort *> auxPorts_;
     ActivityWorklist worklist_;
+
+  private:
+    /// Move the cycle-hot state out of the object graph into contiguous
+    /// network-owned storage, in node order: one RouterHot cache line per
+    /// router, then one PortHot record per buffer (router inputs, then
+    /// terminals, then aux), then every port's VC array and every
+    /// router's cached candidate-slot lists. Indices are preserved —
+    /// only storage moves — so VcRef/slot bookkeeping is untouched.
+    /// No-op under HotLayout::ObjectGraph (the layout-ablation baseline).
+    void packHotState();
+
+    /// Backing store for the packed hot state; owned here so its lifetime
+    /// matches the routers that point into it.
+    BumpArena arena_;
+    bool hotPacked_ = false;
 };
 
 } // namespace taqos

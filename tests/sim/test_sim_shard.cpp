@@ -1,0 +1,314 @@
+/// The sharded engine: bit-identity with the serial engines across every
+/// QOS policy, topology and engine selection (the speculative scan, the
+/// deferred-admission GSF path and the delayed region sweep are all
+/// exact); the preemption-heavy adversarial workload; the whole-chip
+/// simulator; byte-identical flit traces that pass the independent
+/// checker's audit; the layout ablation (arena vs object-graph hot
+/// state); and the deterministic partition/budget planners.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/arena.h"
+#include "core/experiments.h"
+#include "sim/chip_sim.h"
+#include "sim/column_sim.h"
+#include "sim/shard_plan.h"
+#include "sim/trace_record.h"
+#include "traffic/workloads.h"
+#include "verify/checker.h"
+
+namespace taqos {
+namespace {
+
+std::uint64_t
+runDigest(const NetSim &sim)
+{
+    return metricsDigest(sim.metrics());
+}
+
+void
+expectQuiescent(const NetSim &sim)
+{
+    sim.checkInvariants();
+    const Network &net = sim.net();
+    for (NodeId n = 0; n < net.numNodes(); ++n) {
+        EXPECT_FALSE(net.router(n)->hasWork()) << "router " << n;
+    }
+}
+
+// ------------------------------------------------------ partition plan
+
+TEST(ShardPlan, RangesAreContiguousNonEmptyAndCovering)
+{
+    const std::vector<std::uint64_t> weights(10, 7);
+    const auto ranges = planShardRanges(weights, 4);
+    ASSERT_EQ(ranges.size(), 4u);
+    NodeId expectBegin = 0;
+    for (const auto &[begin, end] : ranges) {
+        EXPECT_EQ(begin, expectBegin);
+        EXPECT_LT(begin, end);
+        expectBegin = end;
+    }
+    EXPECT_EQ(expectBegin, 10);
+}
+
+TEST(ShardPlan, UniformWeightsSplitEvenly)
+{
+    const std::vector<std::uint64_t> weights(8, 5);
+    const auto ranges = planShardRanges(weights, 4);
+    ASSERT_EQ(ranges.size(), 4u);
+    for (const auto &[begin, end] : ranges)
+        EXPECT_EQ(end - begin, 2);
+}
+
+TEST(ShardPlan, SkewedWeightsBalanceByWeightNotCount)
+{
+    // One heavy node up front: it should get a region of its own.
+    std::vector<std::uint64_t> weights(9, 1);
+    weights[0] = 100;
+    const auto ranges = planShardRanges(weights, 2);
+    ASSERT_EQ(ranges.size(), 2u);
+    EXPECT_EQ(ranges[0].second, 1);
+    EXPECT_EQ(ranges[1].second, 9);
+}
+
+TEST(ShardPlan, MoreShardsThanNodesDegradesToOnePerNode)
+{
+    const std::vector<std::uint64_t> weights(3, 1);
+    const auto ranges = planShardRanges(weights, 8);
+    ASSERT_EQ(ranges.size(), 3u);
+    for (int n = 0; n < 3; ++n) {
+        EXPECT_EQ(ranges[static_cast<std::size_t>(n)].first, n);
+        EXPECT_EQ(ranges[static_cast<std::size_t>(n)].second, n + 1);
+    }
+}
+
+// ------------------------------------------------- sweep thread budget
+
+TEST(ShardPlan, SweepBudgetDividesMachineByShards)
+{
+    // Auto (threads <= 0): the machine split across per-run shards.
+    EXPECT_EQ(sweepWorkerBudget(0, 100, 4, 16), 4);
+    EXPECT_EQ(sweepWorkerBudget(0, 100, 1, 16), 16);
+    // An explicit request is honoured up to that same cap.
+    EXPECT_EQ(sweepWorkerBudget(2, 100, 4, 16), 2);
+    EXPECT_EQ(sweepWorkerBudget(8, 100, 4, 16), 4);
+    // Never more workers than cells, never fewer than one.
+    EXPECT_EQ(sweepWorkerBudget(0, 3, 1, 16), 3);
+    EXPECT_EQ(sweepWorkerBudget(0, 100, 8, 4), 1);
+    EXPECT_EQ(sweepWorkerBudget(0, 0, 1, 0), 1);
+}
+
+// -------------------------------------------------- toggle equivalence
+
+struct ShardCase {
+    TopologyKind topology;
+    QosMode mode;
+    bool activity;
+};
+
+class ShardEquivalence : public ::testing::TestWithParam<ShardCase> {};
+
+TEST_P(ShardEquivalence, ShardedEngineIsBitIdenticalToSerial)
+{
+    const ShardCase &tc = GetParam();
+    const RunPhases phases = testPhases();
+    std::uint64_t digests[2] = {0, 0};
+    for (int sharded = 0; sharded < 2; ++sharded) {
+        const ColumnConfig col = paperColumn(tc.topology, tc.mode);
+        TrafficConfig traffic;
+        traffic.pattern = TrafficPattern::UniformRandom;
+        traffic.injectionRate = 0.08;
+        ColumnSim sim(col, traffic);
+        sim.setActivityDriven(tc.activity);
+        if (sharded == 1) {
+            sim.setShards(4);
+            sim.setShardMinActive(0); // exercise the pool every cycle
+        }
+        sim.setMeasureWindow(phases.warmup, phases.measureEnd());
+        sim.run(phases.total());
+        sim.checkInvariants();
+        digests[sharded] = runDigest(sim);
+    }
+    EXPECT_EQ(digests[0], digests[1])
+        << topologyName(tc.topology) << "/" << qosModeName(tc.mode)
+        << (tc.activity ? "/event" : "/tick");
+}
+
+std::vector<ShardCase>
+shardCases()
+{
+    std::vector<ShardCase> cases;
+    for (auto kind : {TopologyKind::MeshX1, TopologyKind::Mecs,
+                      TopologyKind::Dps}) {
+        for (QosMode mode : kAllQosModes) {
+            cases.push_back(ShardCase{kind, mode, /*activity=*/true});
+            cases.push_back(ShardCase{kind, mode, /*activity=*/false});
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, ShardEquivalence, ::testing::ValuesIn(shardCases()),
+    [](const ::testing::TestParamInfo<ShardCase> &info) {
+        std::string n = std::string(topologyName(info.param.topology)) +
+                        "_" + qosModeName(info.param.mode) +
+                        (info.param.activity ? "_event" : "_tick");
+        for (char &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST(ShardEquivalence, UnevenAndSingleNodeRegionCountsMatch)
+{
+    // shards=3 leaves uneven regions; shards=8 puts every node of the
+    // 8-node column in a region of its own (the boundary-heavy extreme).
+    const RunPhases phases = testPhases();
+    std::uint64_t serial = 0;
+    for (int shards : {1, 3, 8}) {
+        const ColumnConfig col =
+            paperColumn(TopologyKind::MeshX1, QosMode::Pvc);
+        TrafficConfig traffic;
+        traffic.pattern = TrafficPattern::UniformRandom;
+        traffic.injectionRate = 0.10;
+        ColumnSim sim(col, traffic);
+        if (shards > 1) {
+            sim.setShards(shards);
+            sim.setShardMinActive(0);
+        }
+        sim.setMeasureWindow(phases.warmup, phases.measureEnd());
+        sim.run(phases.total());
+        sim.checkInvariants();
+        if (shards == 1)
+            serial = runDigest(sim);
+        else
+            EXPECT_EQ(runDigest(sim), serial) << "shards=" << shards;
+    }
+}
+
+TEST(ShardEquivalence, PreemptionHeavyWorkloadMatches)
+{
+    std::uint64_t digests[2] = {0, 0};
+    Cycle done[2] = {0, 0};
+    for (int sharded = 0; sharded < 2; ++sharded) {
+        ColumnConfig col = paperColumn(TopologyKind::Dps, QosMode::Pvc);
+        TrafficConfig t = makeWorkload1(col);
+        t.genUntil = 20000;
+        ColumnSim sim(col, t);
+        if (sharded == 1) {
+            sim.setShards(4);
+            sim.setShardMinActive(0);
+        }
+        sim.setMeasureWindow(0, 20000);
+        done[sharded] = sim.runUntilDrained(200000, 20000);
+        ASSERT_NE(done[sharded], kNoCycle);
+        EXPECT_GT(sim.metrics().preemptionEvents, 1000u);
+        digests[sharded] = runDigest(sim);
+        expectQuiescent(sim);
+    }
+    EXPECT_EQ(done[0], done[1]);
+    EXPECT_EQ(digests[0], digests[1]);
+}
+
+TEST(ShardEquivalence, WholeChipSimulationMatches)
+{
+    std::uint64_t digests[2] = {0, 0};
+    std::uint64_t handoffs[2] = {0, 0};
+    for (int sharded = 0; sharded < 2; ++sharded) {
+        ChipNetConfig cc;
+        cc.column = paperColumn(TopologyKind::Dps, QosMode::Pvc);
+        cc.column.pvc.frameLen = 2000;
+        TrafficConfig t;
+        t.pattern = TrafficPattern::UniformRandom;
+        t.injectionRate = 0.05;
+        t.genUntil = 5000;
+        ChipSim sim(cc, t);
+        if (sharded == 1) {
+            sim.setShards(4);
+            sim.setShardMinActive(0);
+        }
+        sim.setMeasureWindow(0, 5000);
+        const Cycle done = sim.runUntilDrained(120000, 5000);
+        ASSERT_NE(done, kNoCycle);
+        digests[sharded] = runDigest(sim);
+        handoffs[sharded] = sim.handoffs();
+        expectQuiescent(sim);
+    }
+    EXPECT_GT(handoffs[1], 0u);
+    EXPECT_EQ(handoffs[0], handoffs[1]);
+    EXPECT_EQ(digests[0], digests[1]);
+}
+
+// ------------------------------------------- recorded traces and audit
+
+TEST(ShardTrace, ShardedTraceIsByteIdenticalAndAuditsClean)
+{
+    // A preemption-heavy PVC cell recorded under both engines: the
+    // sharded run's flit trace must serialize to the same bytes as the
+    // serial run's, and replay clean through the independent checker.
+    std::string serialized[2];
+    for (int sharded = 0; sharded < 2; ++sharded) {
+        ColumnConfig col = paperColumn(TopologyKind::Dps, QosMode::Pvc);
+        TrafficConfig t = makeWorkload1(col);
+        t.genUntil = 20000;
+        ColumnSim sim(col, t);
+        if (sharded == 1) {
+            sim.setShards(4);
+            sim.setShardMinActive(0);
+        }
+        sim.setMeasureWindow(0, 20000);
+        TraceRecorder rec(describeColumn(sim.cfg()));
+        rec.setMeasureWindow(0, 20000);
+        sim.attachTraceSink(&rec);
+
+        const Cycle done = sim.runUntilDrained(200000, 20000);
+        ASSERT_NE(done, kNoCycle);
+        rec.finish(sim.now(), sim.drained());
+        EXPECT_GT(sim.metrics().preemptionEvents, 1000u);
+
+        const CheckReport report = verifyTrace(rec.trace());
+        EXPECT_TRUE(report.ok()) << report.firstDiagnostic();
+        EXPECT_GT(report.eventsChecked, 1000u);
+        serialized[sharded] = serializeFlitTrace(rec.trace());
+    }
+    EXPECT_EQ(serialized[0], serialized[1]);
+}
+
+// ------------------------------------------------------ layout ablation
+
+TEST(HotLayout, ArenaAndObjectGraphLayoutsAreBitIdentical)
+{
+    // The arena pass moves storage, never state: digests must match the
+    // object-graph baseline exactly, under the sharded engine too.
+    const RunPhases phases = testPhases();
+    std::uint64_t digests[3] = {0, 0, 0};
+    for (int variant = 0; variant < 3; ++variant) {
+        setHotLayout(variant == 0 ? HotLayout::ObjectGraph
+                                  : HotLayout::Arena);
+        const ColumnConfig col =
+            paperColumn(TopologyKind::Mecs, QosMode::Pvc);
+        TrafficConfig traffic;
+        traffic.pattern = TrafficPattern::UniformRandom;
+        traffic.injectionRate = 0.08;
+        ColumnSim sim(col, traffic);
+        if (variant == 2) {
+            sim.setShards(4);
+            sim.setShardMinActive(0);
+        }
+        sim.setMeasureWindow(phases.warmup, phases.measureEnd());
+        sim.run(phases.total());
+        sim.checkInvariants();
+        digests[variant] = runDigest(sim);
+        setHotLayout(HotLayout::Arena);
+    }
+    EXPECT_NE(digests[0], 0u);
+    EXPECT_EQ(digests[0], digests[1]);
+    EXPECT_EQ(digests[0], digests[2]);
+}
+
+} // namespace
+} // namespace taqos
