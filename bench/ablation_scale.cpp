@@ -1,0 +1,177 @@
+/// Scaling ablation: simulated cycles/second vs fabric size, serial vs
+/// the sharded engine. Three fabric configurations on the uniform-random
+/// workload, every shared column active:
+///
+///   scale_64    1 chip,  16x16 tiles (8x8 nodes),  1 shared column
+///   scale_256   1 chip,  32x32 tiles (16x16 nodes), 2 shared columns
+///   scale_1024  4 chips, 32x32 tiles, 2 shared columns, p2p links
+///
+/// Each config runs serial and with shards={2,4,8}; every sharded row is
+/// digest-cross-checked against its serial twin (the bit-identity
+/// contract — the whole point of the scaling curve is that the parallel
+/// engine is free determinism-wise). Min-of-`reps` wall time per row.
+///
+/// Writes `BENCH_scale.json` (same schema as BENCH_hotpath.json) with
+/// rows scale_<nodes>_s<shards>; CI wires it into compare_bench.py and
+/// enforces scale_1024_s4 >= 1.3x scale_1024_s1 on its 4-vCPU runners
+/// (single-core machines show ~1x — the pool parks its workers).
+///
+/// Options: fast=1 (short runs), reps=N (default 3, fast 1),
+///          json=<path> (default BENCH_scale.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/options.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/experiments.h"
+#include "exp/json_writer.h"
+#include "sim/fabric_sim.h"
+
+using namespace taqos;
+
+namespace {
+
+struct ScaleConfig {
+    const char *label;
+    int chips;
+    int tiles;
+    std::vector<int> columns;
+};
+
+struct ScaleRow {
+    std::string name;
+    int nodes = 0;
+    Cycle cycles = 0;
+    double sec = 0.0;
+    std::uint64_t digest = 0;
+
+    double rate() const
+    {
+        return sec > 0.0 ? static_cast<double>(cycles) / sec : 0.0;
+    }
+};
+
+FabricSpec
+specFor(const ScaleConfig &cfg)
+{
+    FabricSpec spec;
+    spec.chips = cfg.chips;
+    spec.chip.tilesX = spec.chip.tilesY = cfg.tiles;
+    spec.chip.sharedColumns = cfg.columns;
+    spec.column = paperColumn(TopologyKind::Dps, QosMode::Pvc);
+    return spec;
+}
+
+ScaleRow
+timedFabricRun(const ScaleConfig &cfg, Cycle cycles, int shards, int reps)
+{
+    ScaleRow row;
+    row.cycles = cycles;
+    for (int r = 0; r < reps; ++r) {
+        const FabricSpec spec = specFor(cfg);
+        TrafficConfig traffic;
+        traffic.pattern = TrafficPattern::UniformRandom;
+        traffic.injectionRate = 0.05;
+        FabricSim sim(spec, traffic);
+        if (shards > 1)
+            sim.configure({.shards = shards});
+        sim.setMeasureWindow(cycles / 4, cycles);
+        const auto t0 = std::chrono::steady_clock::now();
+        sim.run(cycles);
+        const double sec = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+        row.sec = r == 0 ? sec : std::min(row.sec, sec);
+        row.digest = metricsDigest(sim.metrics());
+        row.nodes = sim.net().numNodes();
+    }
+    row.name = strFormat("scale_%d_s%d", row.nodes, shards);
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const OptionMap opts(argc, argv);
+    benchutil::header(
+        "Scaling ablation: cycles/sec vs fabric size, serial vs sharded",
+        "infrastructure (ROADMAP item 1: 1000+ router fabrics)");
+
+    const bool fast = opts.getBool("fast", false);
+    const int reps = static_cast<int>(opts.getInt("reps", fast ? 1 : 3));
+    const std::vector<ScaleConfig> configs{
+        {"64-node chip", 1, 16, {4}},
+        {"256-node chip", 1, 32, {4, 12}},
+        {"1024-node fabric", 4, 32, {4, 12}},
+    };
+    // Budget per row shrinks with size so the bench stays minutes-scale;
+    // per-cycle work grows with the node count, keeping every row a
+    // meaningful sample.
+    const std::vector<Cycle> budgets{fast ? 8000u : 40000u,
+                                     fast ? 4000u : 20000u,
+                                     fast ? 2000u : 10000u};
+
+    int mismatches = 0;
+    std::vector<ScaleRow> rows;
+    TextTable t;
+    t.setHeader({"config", "nodes", "shards", "cyc/s", "vs serial",
+                 "identical"});
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        ScaleRow serial;
+        for (int shards : {1, 2, 4, 8}) {
+            const ScaleRow row =
+                timedFabricRun(configs[i], budgets[i], shards, reps);
+            if (shards == 1)
+                serial = row;
+            const bool same = row.digest == serial.digest;
+            if (!same)
+                ++mismatches;
+            t.addRow({configs[i].label, strFormat("%d", row.nodes),
+                      strFormat("%d", shards),
+                      benchutil::num(row.rate(), 0),
+                      strFormat("%.2fx", row.rate() / serial.rate()),
+                      same ? "yes" : "NO"});
+            rows.push_back(row);
+        }
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("(CI enforces scale_1024_s4 >= 1.3x scale_1024_s1 on its "
+                "4-vCPU runners; single-core machines show ~1x shard "
+                "scaling — the pool parks its workers.)\n");
+
+    const std::string json = opts.get("json", "BENCH_scale.json");
+    JsonWriter w;
+    w.beginObject();
+    w.field("benchmark", "scale");
+    w.beginObject("unit");
+    w.field("simCyclesPerSec", "Hz");
+    w.endObject();
+    w.beginArray("results");
+    for (const auto &row : rows) {
+        w.beginObject();
+        w.field("name", row.name);
+        w.field("simCycles", row.cycles);
+        w.field("wallMs", row.sec * 1e3);
+        w.field("simCyclesPerSec", row.rate());
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    if (writeTextFile(json, w.str() + "\n"))
+        std::printf("wrote %s\n", json.c_str());
+
+    if (mismatches != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %d sharded rows diverged from serial\n",
+                     mismatches);
+        return 1;
+    }
+    return 0;
+}

@@ -3,9 +3,9 @@
 #pragma once
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
+#include "common/options.h"
 #include "common/strings.h"
 #include "qos/pvc.h"
 
@@ -13,23 +13,13 @@ namespace taqos::benchutil {
 
 /// Parse a QOS-mode option (`key=<mode>`) through the canonical
 /// parseQosMode round-trip; exits with the list of valid names on an
-/// unknown value. Every driver shares this instead of ad-hoc string
-/// comparisons.
+/// unknown value. Forwarding shim — new drivers should call
+/// enumOption (common/options.h) directly.
 inline QosMode
 qosModeFromOpts(const OptionMap &opts, const char *key, QosMode dflt)
 {
-    const std::string s = opts.get(key, "");
-    if (s.empty())
-        return dflt;
-    const auto mode = parseQosMode(s);
-    if (!mode.has_value()) {
-        std::fprintf(stderr, "unknown QOS mode '%s'; valid:", s.c_str());
-        for (QosMode m : kAllQosModes)
-            std::fprintf(stderr, " %s", qosModeName(m));
-        std::fprintf(stderr, "\n");
-        std::exit(1);
-    }
-    return *mode;
+    return enumOption(opts, key, dflt, parseQosMode, "mode",
+                      joinNames(kAllQosModes, qosModeName));
 }
 
 inline void

@@ -9,10 +9,12 @@
 ///
 /// Options: fast=1 (short phases), pattern=uniform|tornado (default both),
 ///          mode=pvc|per-flow|no-qos|gsf|age|wrr (default pvc),
+///          rates=a,b,c|lo:hi:step (overrides maxrate/step),
 ///          maxrate=0.15, step=0.01, threads=N, json=<prefix>
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/options.h"
 #include "common/strings.h"
 #include "common/table.h"
 #include "core/experiments.h"
@@ -86,17 +88,29 @@ main(int argc, char **argv)
     if (opts.getBool("fast", false))
         phases = RunPhases{5000, 15000, 10000};
 
-    const double maxRate = opts.getDouble("maxrate", 0.15);
-    const double step = opts.getDouble("step", 0.01);
     std::vector<double> rates;
-    for (double r = step; r <= maxRate + 1e-9; r += step)
-        rates.push_back(r);
+    if (opts.has("rates")) {
+        rates = parseRateList(opts.get("rates", ""));
+    } else {
+        const double maxRate = opts.getDouble("maxrate", 0.15);
+        const double step = opts.getDouble("step", 0.01);
+        if (step <= 0.0 || maxRate <= 0.0) {
+            optionError(strFormat("bad rates '%g:%g': want a,b,c or "
+                                  "lo:hi:step (step > 0)",
+                                  maxRate, step));
+        }
+        for (double r = step; r <= maxRate + 1e-9; r += step)
+            rates.push_back(r);
+    }
 
     const int threads = static_cast<int>(opts.getInt("threads", 0));
     const std::string json = opts.get("json", "");
-    const QosMode mode =
-        benchutil::qosModeFromOpts(opts, "mode", QosMode::Pvc);
+    const QosMode mode = enumOption(opts, "mode", QosMode::Pvc,
+                                    parseQosMode, "mode",
+                                    joinNames(kAllQosModes, qosModeName));
     const std::string which = opts.get("pattern", "both");
+    if (which != "both" && which != "uniform" && which != "tornado")
+        unknownValue("pattern", which, "both uniform tornado");
     if (which == "both" || which == "uniform")
         runPattern(TrafficPattern::UniformRandom, rates, phases, threads,
                    json, mode);

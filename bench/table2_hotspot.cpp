@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/options.h"
 #include "common/strings.h"
 #include "common/table.h"
 #include "core/experiments.h"
@@ -29,9 +30,12 @@ main(int argc, char **argv)
     Cycle measure = static_cast<Cycle>(opts.getInt("cycles", 280000));
     if (opts.getBool("fast", false))
         measure = 60000;
+    if (measure == 0)
+        optionError("bad cycles '0': want a positive measure window");
 
-    const QosMode mode =
-        benchutil::qosModeFromOpts(opts, "mode", QosMode::Pvc);
+    const QosMode mode = enumOption(opts, "mode", QosMode::Pvc,
+                                    parseQosMode, "mode",
+                                    joinNames(kAllQosModes, qosModeName));
     const SweepResult result =
         SweepRunner(static_cast<int>(opts.getInt("threads", 0)))
             .run(table2Spec(measure, 20000, mode));

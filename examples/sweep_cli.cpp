@@ -31,92 +31,13 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/options.h"
 #include "common/strings.h"
 #include "common/table.h"
 #include "core/experiments.h"
 #include "exp/sweep.h"
 
 using namespace taqos;
-
-namespace {
-
-[[noreturn]] void
-badRates(const std::string &s)
-{
-    std::fprintf(stderr,
-                 "bad rates '%s': want a,b,c or lo:hi:step (step > 0)\n",
-                 s.c_str());
-    std::exit(1);
-}
-
-double
-parseRate(const std::string &token, const std::string &whole)
-{
-    char *end = nullptr;
-    const double v = std::strtod(token.c_str(), &end);
-    if (end == token.c_str() || *end != '\0')
-        badRates(whole);
-    return v;
-}
-
-std::vector<double>
-parseRates(const std::string &s)
-{
-    std::vector<double> rates;
-    if (s.find(':') != std::string::npos) {
-        const auto parts = strSplit(s, ':');
-        if (parts.size() != 3)
-            badRates(s);
-        const double lo = parseRate(strTrim(parts[0]), s);
-        const double hi = parseRate(strTrim(parts[1]), s);
-        const double step = parseRate(strTrim(parts[2]), s);
-        if (step <= 0.0)
-            badRates(s);
-        for (double r = lo; r <= hi + 1e-9; r += step)
-            rates.push_back(r);
-    } else {
-        for (const auto &part : strSplit(s, ',')) {
-            const std::string token = strTrim(part);
-            if (!token.empty())
-                rates.push_back(parseRate(token, s));
-        }
-    }
-    if (rates.empty())
-        badRates(s);
-    return rates;
-}
-
-template <typename T, typename Parse>
-std::vector<T>
-parseList(const std::string &s, Parse parse, const char *what)
-{
-    std::vector<T> out;
-    for (const auto &part : strSplit(s, ',')) {
-        const std::string token = strTrim(part);
-        if (token.empty())
-            continue;
-        const auto v = parse(token);
-        if (!v.has_value()) {
-            std::fprintf(stderr, "unknown %s '%s'\n", what, token.c_str());
-            std::exit(1);
-        }
-        out.push_back(*v);
-    }
-    return out;
-}
-
-std::vector<int>
-parseInts(const std::string &s)
-{
-    std::vector<int> out;
-    for (const auto &part : strSplit(s, ',')) {
-        if (!strTrim(part).empty())
-            out.push_back(std::atoi(part.c_str()));
-    }
-    return out;
-}
-
-} // namespace
 
 namespace {
 
@@ -168,37 +89,32 @@ main(int argc, char **argv)
         spec.name = "sweep_cli";
 
     if (preset.empty() || opts.has("scenario")) {
-        const auto scenario =
-            parseScenario(opts.get("scenario", "latency_load"));
-        if (!scenario.has_value()) {
-            std::fprintf(stderr, "unknown scenario\n");
-            return 1;
-        }
-        spec.scenario = *scenario;
+        spec.scenario = enumOption(opts, "scenario",
+                                   *parseScenario("latency_load"),
+                                   parseScenario, "scenario");
     }
 
     const std::string topos = opts.get("topos", "all");
     if (topos != "all") {
-        spec.topologies = parseList<TopologyKind>(
-            topos, [](const std::string &t) { return parseTopology(t); },
-            "topology");
+        spec.topologies =
+            parseEnumList(topos, parseTopology, "topology",
+                          joinNames(kAllTopologies, topologyName));
     }
     if (opts.has("patterns")) {
-        spec.patterns = parseList<TrafficPattern>(
-            opts.get("patterns", ""),
-            [](const std::string &t) { return parsePattern(t); }, "pattern");
+        spec.patterns =
+            parseEnumList(opts.get("patterns", ""), parsePattern, "pattern");
     }
     if (opts.has("modes")) {
-        spec.modes = parseList<QosMode>(
-            opts.get("modes", ""),
-            [](const std::string &t) { return parseQosMode(t); }, "mode");
+        spec.modes = parseEnumList(opts.get("modes", ""), parseQosMode,
+                                   "mode", joinNames(kAllQosModes,
+                                                     qosModeName));
     }
     if (opts.has("rates"))
-        spec.rates = parseRates(opts.get("rates", ""));
+        spec.rates = parseRateList(opts.get("rates", ""));
     if (opts.has("workloads"))
-        spec.workloads = parseInts(opts.get("workloads", ""));
+        spec.workloads = parseIntList(opts.get("workloads", ""));
     if (opts.has("placements"))
-        spec.placements = parseInts(opts.get("placements", ""));
+        spec.placements = parseIntList(opts.get("placements", ""));
 
     if (preset.empty() || opts.has("reps"))
         spec.replicates = static_cast<int>(opts.getInt("reps", 1));

@@ -21,19 +21,26 @@
 ///   legacy=1      use the always-tick reference engine
 ///   shards=N      run the sharded engine on N threads (bit-identical;
 ///                 the audit exercises its recorded trace)
+///   fabric=1      record a multi-chip fabric run (FabricSim) instead of
+///                 one column; with
+///     chips=N tiles=N columns=a,b links=p2p|ring
+///                 (tiles sets a square chip; columns the shared xs)
 ///
 /// Examples:
 ///   verify_cli audit topo=dps mode=pvc rate=0.05
 ///   verify_cli record out=/tmp/t.txt topo=mecs pattern=hotspot legacy=1
 ///   verify_cli check /tmp/t.txt
+///   verify_cli audit fabric=1 chips=4 tiles=32 columns=4,12 shards=4
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/options.h"
 #include "common/strings.h"
 #include "core/experiments.h"
 #include "sim/column_sim.h"
+#include "sim/fabric_sim.h"
 #include "sim/trace_record.h"
 #include "verify/checker.h"
 
@@ -48,6 +55,12 @@ struct RunOptions {
     bool legacy = false;
     int shards = 1;
     std::string out;
+    /// fabric=1: record a multi-chip fabric run instead of one column.
+    bool fabric = false;
+    int chips = 1;
+    int tiles = 0; ///< 0 = the default chip geometry
+    std::vector<int> columns;
+    LinkTopology links = LinkTopology::PointToPoint;
 };
 
 [[noreturn]] void
@@ -111,6 +124,19 @@ parseRunOptions(const std::vector<std::string> &args)
             run.shards = std::atoi(val.c_str());
         } else if (key == "out") {
             run.out = val;
+        } else if (key == "fabric") {
+            run.fabric = std::atoi(val.c_str()) != 0;
+        } else if (key == "chips") {
+            run.chips = std::atoi(val.c_str());
+        } else if (key == "tiles") {
+            run.tiles = std::atoi(val.c_str());
+        } else if (key == "columns") {
+            run.columns = parseIntList(val);
+        } else if (key == "links") {
+            const auto l = parseLinkTopology(val);
+            if (!l.has_value())
+                badOption(arg);
+            run.links = *l;
         } else {
             badOption(arg);
         }
@@ -119,20 +145,50 @@ parseRunOptions(const std::vector<std::string> &args)
     return run;
 }
 
+/// Run the configured fabric with the recorder attached (fabric=1).
+FlitTrace
+recordFabricRun(const RunOptions &run)
+{
+    FabricSpec spec;
+    spec.chips = run.chips;
+    if (run.tiles > 0)
+        spec.chip.tilesX = spec.chip.tilesY = run.tiles;
+    if (!run.columns.empty())
+        spec.chip.sharedColumns = run.columns;
+    spec.column = run.col;
+    spec.links = run.links;
+
+    TrafficConfig traffic = run.traffic;
+    traffic.genUntil = run.phases.measureEnd();
+
+    FabricSim sim(spec, traffic);
+    sim.configure({.activityDriven = !run.legacy, .shards = run.shards});
+    sim.setMeasureWindow(run.phases.warmup, run.phases.measureEnd());
+
+    TraceRecorder rec(describeFabric(sim.network()));
+    rec.setMeasureWindow(run.phases.warmup, run.phases.measureEnd());
+    sim.attachTraceSink(&rec);
+
+    const Cycle done = sim.runUntilDrained(run.phases.total() * 4,
+                                           run.phases.measureEnd());
+    rec.finish(sim.now(), done != kNoCycle && sim.drained());
+    return rec.trace();
+}
+
 /// Run the configured column with the recorder attached; the generator
 /// stops at the measurement end and the drain phase empties the network.
 FlitTrace
 recordRun(const RunOptions &run)
 {
+    if (run.fabric)
+        return recordFabricRun(run);
+
     ColumnConfig col = run.col;
     TrafficConfig traffic = run.traffic;
     traffic.genUntil = run.phases.measureEnd();
 
     ColumnSim sim(col, traffic);
-    if (run.legacy)
-        sim.setActivityDriven(false);
-    if (run.shards > 1)
-        sim.setShards(run.shards);
+    sim.configure({.activityDriven = !run.legacy, .shards = run.shards});
     sim.setMeasureWindow(run.phases.warmup, run.phases.measureEnd());
 
     TraceRecorder rec(describeColumn(col));

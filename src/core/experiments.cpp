@@ -2,8 +2,15 @@
 
 #include "common/assert.h"
 #include "common/strings.h"
+#include "chip/os.h"
+#include "noc/metrics.h"
 #include "power/tech.h"
+#include "sim/fabric_sim.h"
+#include "sim/trace_record.h"
 #include "topo/geometry.h"
+#include "verify/checker.h"
+
+#include <optional>
 
 namespace taqos {
 namespace {
@@ -322,6 +329,147 @@ runChipConsolidation(TopologyKind kind, double ratePerNode,
         SweepRunner().run(chipConsolidationSpec(kind, ratePerNode, phases));
     TAQOS_ASSERT(result.cells.size() == 1, "consolidation spec is one cell");
     return chipConsolidationFromCell(result.cells[0]);
+}
+
+FabricConsolidationResult
+runFabricConsolidation(const FabricConsolidationConfig &cfg)
+{
+    FabricSpec spec;
+    spec.chips = cfg.chips;
+    spec.chip = cfg.chip;
+    spec.column = paperColumn(cfg.topology, cfg.mode);
+    spec.links = cfg.links;
+
+    // Flow-register programming needs the flow-id geometry before the
+    // network exists; fabricCatchments gives the same partition build()
+    // will compute.
+    const auto cats = fabricCatchments(spec.chip);
+    const int B = static_cast<int>(cats.size());
+    const int H = spec.chip.nodesY();
+    int maxCat = 0;
+    for (const auto &cat : cats)
+        maxCat = std::max(maxCat, static_cast<int>(cat.size()));
+    const int slots = 1 + maxCat + (cfg.chips > 1 ? cfg.chips - 1 : 0);
+    const int fpb = H * slots;
+    const int totalFlows = cfg.chips * B * fpb;
+
+    // One hypervisor per chip, each admitting the paper's three-VM mix.
+    const VmPlacement &pl = vmPlacements()[0];
+    std::vector<OsScheduler> os;
+    os.reserve(static_cast<std::size_t>(cfg.chips));
+    for (int c = 0; c < cfg.chips; ++c) {
+        os.emplace_back(spec.chip);
+        for (const auto &s : pl.servers) {
+            const auto vm = os.back().createVm(s.id, s.threads, s.weight);
+            TAQOS_ASSERT(vm.has_value(), "chip %d: VM %d admission failed",
+                         c, s.id);
+        }
+        TAQOS_ASSERT(os.back().coScheduleInvariant(),
+                     "chip %d: co-scheduling violated", c);
+    }
+
+    // Program every column's flow registers from the placements: each
+    // owned compute node streams at the cell rate into its local block,
+    // and at remoteShare of it into each remote chip's matching block;
+    // terminal flows (the columns' own resources) stay quiet.
+    TrafficConfig traffic;
+    traffic.pattern = TrafficPattern::UniformRandom;
+    traffic.injectionRate = cfg.ratePerNode;
+    traffic.seed = cfg.seed;
+    traffic.genUntil = cfg.phases.measureEnd();
+    traffic.activeFlows.assign(static_cast<std::size_t>(totalFlows), false);
+    traffic.flowRates.assign(static_cast<std::size_t>(totalFlows), 0.0);
+    std::vector<std::uint32_t> weights(
+        static_cast<std::size_t>(totalFlows), 1);
+    std::vector<int> ownerChip(static_cast<std::size_t>(totalFlows), -1);
+    std::vector<int> ownerVm(static_cast<std::size_t>(totalFlows), -1);
+    const auto programFlow = [&](int f, int srcChip, int x, int y,
+                                 double rate) {
+        const int owner = os[static_cast<std::size_t>(srcChip)].ownerOf(
+            NodeCoord{x, y});
+        if (owner < 0)
+            return;
+        const auto fi = static_cast<std::size_t>(f);
+        traffic.activeFlows[fi] = true;
+        traffic.flowRates[fi] = rate;
+        weights[fi] =
+            os[static_cast<std::size_t>(srcChip)].vm(owner)->weight;
+        ownerChip[fi] = srcChip;
+        ownerVm[fi] = owner;
+    };
+    for (int c = 0; c < cfg.chips; ++c) {
+        for (int j = 0; j < B; ++j) {
+            const auto &cat = cats[static_cast<std::size_t>(j)];
+            const int g = c * B + j;
+            for (int y = 0; y < H; ++y) {
+                for (std::size_t i = 0; i < cat.size(); ++i) {
+                    programFlow(g * fpb + y * slots + 1 +
+                                    static_cast<int>(i),
+                                c, cat[i], y, cfg.ratePerNode);
+                }
+                for (int r = 0; r + 1 < cfg.chips; ++r) {
+                    programFlow(g * fpb + y * slots + 1 + maxCat + r,
+                                (c + 1 + r) % cfg.chips, cat.front(), y,
+                                cfg.remoteShare * cfg.ratePerNode);
+                }
+            }
+        }
+    }
+    spec.column.pvc.weights = weights;
+
+    FabricSim sim(spec, traffic);
+    sim.configure({.shards = cfg.shards});
+    sim.setMeasureWindow(cfg.phases.warmup, cfg.phases.measureEnd());
+
+    std::optional<TraceRecorder> rec;
+    if (cfg.audit) {
+        rec.emplace(describeFabric(sim.network()));
+        rec->setMeasureWindow(cfg.phases.warmup, cfg.phases.measureEnd());
+        sim.attachTraceSink(&*rec);
+    }
+
+    const Cycle drain =
+        sim.runUntilDrained(cfg.phases.total() * 4, traffic.genUntil);
+    sim.checkInvariants();
+
+    const SimMetrics &m = sim.metrics();
+    FabricConsolidationResult res;
+    if (rec.has_value()) {
+        rec->finish(sim.now(), drain != kNoCycle && sim.drained());
+        const CheckReport report = verifyTrace(rec->trace());
+        res.auditOk = report.ok();
+        res.auditEvents = report.eventsChecked;
+        if (!report.ok())
+            res.auditDiagnostic = report.firstDiagnostic();
+    }
+    res.nodes = sim.net().numNodes();
+    res.drainCycle = drain;
+    res.deliveredPackets = m.deliveredPackets;
+    res.handoffs = sim.handoffs();
+    res.linkHops = sim.linkHops();
+    res.preemptions = m.preemptionEvents;
+    res.avgLatency = m.latency.mean();
+    res.digest = metricsDigest(m);
+
+    for (int c = 0; c < cfg.chips; ++c) {
+        for (const auto &s : pl.servers) {
+            FabricVmShare share;
+            share.chip = c;
+            share.vmId = s.id;
+            share.weight = s.weight;
+            share.domainNodes =
+                os[static_cast<std::size_t>(c)].vm(s.id)->domain.size();
+            for (int f = 0; f < totalFlows; ++f) {
+                const auto fi = static_cast<std::size_t>(f);
+                if (ownerChip[fi] == c && ownerVm[fi] == s.id)
+                    share.flits += m.flowFlits[fi];
+            }
+            share.flitsPerNode = static_cast<double>(share.flits) /
+                                 static_cast<double>(share.domainNodes);
+            res.vms.push_back(share);
+        }
+    }
+    return res;
 }
 
 } // namespace taqos

@@ -18,6 +18,7 @@
 #include "exp/sweep.h"
 #include "power/router_power.h"
 #include "sim/sim_config.h"
+#include "topo/fabric.h"
 #include "topo/topology.h"
 #include "traffic/pattern.h"
 
@@ -188,5 +189,62 @@ SweepSpec chipConsolidationSpec(TopologyKind kind = TopologyKind::Dps,
 /// Maps the first cell of a ChipConsolidation sweep back into the
 /// structured result (one cell == one scenario run).
 ChipConsolidationResult chipConsolidationFromCell(const CellResult &cell);
+
+// ------------------------------------- fabric-scale consolidation (PR 8)
+
+/// The consolidated-server scenario scaled to a multi-chip fabric.
+struct FabricConsolidationConfig {
+    int chips = 4;
+    ChipConfig chip;
+    TopologyKind topology = TopologyKind::Dps;
+    QosMode mode = QosMode::Pvc;
+    LinkTopology links = LinkTopology::PointToPoint;
+    double ratePerNode = 0.05; ///< flits/cycle per owned compute node
+    /// Each owned compute node also streams this fraction of its rate
+    /// into every remote chip's nearest protected column.
+    double remoteShare = 0.25;
+    int shards = 1; ///< EngineConfig::shards (bit-identical by contract)
+    std::uint64_t seed = 1;
+    RunPhases phases;
+    /// Record the flit trace and run the independent checker's audit on
+    /// it (result.auditOk / auditEvents / auditDiagnostic).
+    bool audit = false;
+};
+
+struct FabricVmShare {
+    int chip = 0;
+    int vmId = -1;
+    std::uint32_t weight = 1;
+    std::size_t domainNodes = 0;
+    std::uint64_t flits = 0;   ///< delivered for this VM's flows (local
+                               ///< and remote), in the measure window
+    double flitsPerNode = 0.0;
+};
+
+struct FabricConsolidationResult {
+    int nodes = 0;                 ///< routers in the fabric
+    Cycle drainCycle = kNoCycle;   ///< kNoCycle when the budget ran out
+    std::uint64_t deliveredPackets = 0;
+    std::uint64_t handoffs = 0;    ///< row-to-column boundary crossings
+    std::uint64_t linkHops = 0;    ///< inter-chip link traversals
+    std::uint64_t preemptions = 0;
+    double avgLatency = 0.0;       ///< end-to-end, rows and links included
+    std::uint64_t digest = 0;      ///< metricsDigest (sharding identity)
+    std::vector<FabricVmShare> vms;
+    /// Checker audit of the recorded trace (cfg.audit only).
+    bool auditOk = true;
+    std::uint64_t auditEvents = 0;
+    std::string auditDiagnostic;
+};
+
+/// The consolidated-server scenario at fabric scale: every chip runs its
+/// own hypervisor admitting the paper's three-VM mix, every shared column
+/// of every chip is an active QOS block with flow registers programmed
+/// from the VM placements, and each VM's memory traffic targets its local
+/// protected columns plus (at `remoteShare` of its rate) the remote
+/// chips' columns across the inter-chip links. Runs to drain and checks
+/// the fabric invariants.
+FabricConsolidationResult
+runFabricConsolidation(const FabricConsolidationConfig &cfg = {});
 
 } // namespace taqos

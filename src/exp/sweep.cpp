@@ -86,7 +86,7 @@ runLatencyLoadCell(const CellSpec &cell)
     traffic.injectionRate = cell.rate;
     traffic.seed = cell.seed;
     ColumnSim sim(col, traffic);
-    sim.setShards(cell.shards);
+    sim.configure({.shards = cell.shards});
     sim.setMeasureWindow(cell.phases.warmup, cell.phases.measureEnd());
     sim.run(cell.phases.total());
 
@@ -110,7 +110,7 @@ runHotspotCell(const CellSpec &cell)
     TrafficConfig traffic = makeHotspotAll(col, cell.rate);
     traffic.seed = cell.seed;
     ColumnSim sim(col, traffic);
-    sim.setShards(cell.shards);
+    sim.configure({.shards = cell.shards});
     sim.setMeasureWindow(cell.phases.warmup, cell.phases.measureEnd());
     sim.run(cell.phases.total());
 
@@ -146,7 +146,7 @@ runAdversarialCell(const CellSpec &cell)
     finite.seed = cell.seed;
 
     ColumnSim sim(col, finite);
-    sim.setShards(cell.shards);
+    sim.configure({.shards = cell.shards});
     sim.setMeasureWindow(0, gen);
     const Cycle done = sim.runUntilDrained(budget, gen);
     TAQOS_ASSERT(done != kNoCycle, "%s: run did not drain",
@@ -157,7 +157,7 @@ runAdversarialCell(const CellSpec &cell)
     ColumnConfig colRef = col;
     colRef.mode = QosMode::PerFlowQueue;
     ColumnSim ref(colRef, finite);
-    ref.setShards(cell.shards);
+    ref.configure({.shards = cell.shards});
     ref.setMeasureWindow(0, gen);
     const Cycle doneRef = ref.runUntilDrained(budget, gen);
     TAQOS_ASSERT(doneRef != kNoCycle, "%s: reference run did not drain",
@@ -248,7 +248,7 @@ runChipConsolidationCell(const CellSpec &cell)
     }
 
     ChipSim sim(cfg, traffic);
-    sim.setShards(cell.shards);
+    sim.configure({.shards = cell.shards});
     sim.setMeasureWindow(cell.phases.warmup, cell.phases.measureEnd());
     const Cycle drain =
         sim.runUntilDrained(cell.phases.total() * 4, traffic.genUntil);

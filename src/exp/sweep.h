@@ -71,7 +71,7 @@ struct CellSpec {
     std::uint64_t seed = 0; ///< traffic seed for this cell
     RunPhases phases;
     Cycle genCycles = 100000; ///< Adversarial generation horizon
-    /// Intra-run shard threads (NetSim::setShards). An execution knob
+    /// Intra-run shard threads (EngineConfig::shards). An execution knob
     /// like the runner's thread count: bit-identical results by the
     /// sharding contract, so it is neither serialized nor seed-mixed.
     int shards = 1;

@@ -70,6 +70,12 @@ class TraceSink {
 
     /// The delivery ACK retired `pkt`'s window slot (end of life).
     virtual void retire(Cycle now, const NetPacket &pkt) = 0;
+
+    /// `pkt` completed one journey segment at (`port`, `vc`) — a chip row
+    /// reaching its column boundary, or an inter-chip gateway — and will
+    /// be re-injected toward `newDst` with the attempt counter bumped.
+    virtual void segment(Cycle now, const InputPort &port, int vc,
+                         const NetPacket &pkt, NodeId newDst) = 0;
 };
 
 } // namespace taqos

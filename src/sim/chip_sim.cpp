@@ -1,6 +1,7 @@
 #include "sim/chip_sim.h"
 
 #include "common/assert.h"
+#include "noc/trace_sink.h"
 
 namespace taqos {
 
@@ -70,7 +71,7 @@ ChipSim::tickTerminals()
 {
     NetSim::tickTerminals();
     for (InputPort *port : network().auxPorts()) {
-        if (activityDriven_ && port->occupied() == 0)
+        if (activityDriven() && port->occupied() == 0)
             continue;
         for (int v = 0; v < static_cast<int>(port->vcs.size()); ++v) {
             VirtualChannel &vc = port->vcs[static_cast<std::size_t>(v)];
@@ -94,6 +95,8 @@ ChipSim::handoff(NetPacket *pkt, InputPort *port, int vcIdx)
     pkt->removeLoc(port, vcIdx);
     port->vcs[static_cast<std::size_t>(vcIdx)].free(
         now_ + static_cast<Cycle>(port->creditDelay));
+    if (trace_ != nullptr)
+        trace_->segment(now_, *port, vcIdx, *pkt, pkt->finalDst);
 
     // The row traversal is completed service, not replayable work: a
     // later column preemption replays only the column segment.

@@ -34,23 +34,27 @@ NetSim::setMeasureWindow(Cycle start, Cycle end)
 }
 
 void
-NetSim::setActivityDriven(bool on)
+NetSim::configure(const EngineConfig &cfg)
 {
-    TAQOS_ASSERT(now_ == 0, "engine selection must precede the first step");
-    activityDriven_ = on;
-}
-
-void
-NetSim::setShards(int shards)
-{
-    TAQOS_ASSERT(now_ == 0, "shard selection must precede the first step");
-    TAQOS_ASSERT(shards >= 1, "need at least one shard");
-    shards_ = std::min(shards, std::max(1, net_->numNodes()));
+    // The dispatch threshold only gates the pool-vs-inline heuristic
+    // (never results), so it stays tunable mid-run; everything else must
+    // precede the first step.
+    if (now_ != 0) {
+        TAQOS_ASSERT(cfg.activityDriven == engineCfg_.activityDriven &&
+                         cfg.shards == engineCfg_.shards,
+                     "engine selection must precede the first step");
+        engineCfg_.shardMinActive = cfg.shardMinActive;
+        return;
+    }
+    TAQOS_ASSERT(cfg.shards >= 1, "need at least one shard");
+    engineCfg_ = cfg;
+    engineCfg_.shards =
+        std::min(cfg.shards, std::max(1, net_->numNodes()));
     regions_.clear();
     shardPool_.reset();
     net_->worklist().pending.clear();
 
-    if (shards_ <= 1) {
+    if (engineCfg_.shards <= 1) {
         // Back to the shared worklist (tests flip this both ways). Armed
         // routers re-enter pending; their flags are authoritative.
         for (NodeId n = 0; n < net_->numNodes(); ++n) {
@@ -62,7 +66,8 @@ NetSim::setShards(int shards)
         return;
     }
 
-    const auto ranges = planShardRanges(shardWeights(*net_), shards_);
+    const auto ranges =
+        planShardRanges(shardWeights(*net_), engineCfg_.shards);
     regions_.resize(ranges.size());
     for (std::size_t i = 0; i < ranges.size(); ++i) {
         Region &reg = regions_[i];
@@ -234,7 +239,7 @@ NetSim::tickTerminals()
         InputPort *port = net_->termPort(n);
         // Incremental-occupancy shortcut: an empty ejection buffer has
         // nothing to deliver (exact — occupied()==0 means every VC Free).
-        if (activityDriven_ && port->occupied() == 0)
+        if (engineCfg_.activityDriven && port->occupied() == 0)
             continue;
         for (int v = 0; v < static_cast<int>(port->vcs.size()); ++v) {
             VirtualChannel &vc = port->vcs[static_cast<std::size_t>(v)];
@@ -304,9 +309,9 @@ NetSim::stepSharded()
     ctx.ack = &ack_;
     ctx.metrics = &metrics_;
     ctx.gate = gate_.get();
-    ctx.forceScan = !activityDriven_;
+    ctx.forceScan = !engineCfg_.activityDriven;
 
-    if (activityDriven_) {
+    if (engineCfg_.activityDriven) {
         TickContext scanCtx = ctx;
         scanCtx.speculative = true;
 
@@ -318,7 +323,7 @@ NetSim::stepSharded()
             live += reg.active.size() + reg.wl.pending.size();
         const bool par =
             live >= regions_.size() *
-                        static_cast<std::size_t>(shardMinActive_);
+                        static_cast<std::size_t>(engineCfg_.shardMinActive);
 
         if (trace_ != nullptr) {
             // Completions emit trace events; keep every mutating walk
@@ -403,9 +408,9 @@ NetSim::step()
     ctx.ack = &ack_;
     ctx.metrics = &metrics_;
     ctx.gate = gate_.get();
-    ctx.forceScan = !activityDriven_;
+    ctx.forceScan = !engineCfg_.activityDriven;
 
-    if (activityDriven_) {
+    if (engineCfg_.activityDriven) {
         // Tick only routers with work. Arms raised by the phases above
         // (NACK requeues, fresh traffic) are folded in first; arms raised
         // *during* the router phases (a grant reserving a downstream VC,
@@ -426,7 +431,7 @@ NetSim::step()
     }
 
     tickTerminals();
-    if (activityDriven_)
+    if (engineCfg_.activityDriven)
         sweepWorklist();
     ++now_;
 }
@@ -516,7 +521,7 @@ NetSim::checkInvariants() const
         TAQOS_ASSERT(r->queuedPacketCount() == queued,
                      "router %d queued-packet count drifted (%d vs %d)", n,
                      r->queuedPacketCount(), queued);
-        TAQOS_ASSERT(!activityDriven_ || !r->hasWork() || r->inWorklist(),
+        TAQOS_ASSERT(!engineCfg_.activityDriven || !r->hasWork() || r->inWorklist(),
                      "router %d has work but is not armed", n);
     }
     for (NodeId n = 0; n < net->numNodes(); ++n) {

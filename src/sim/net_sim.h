@@ -88,25 +88,38 @@ class NetSim {
     /// True when no packet is live (queued, in flight, or awaiting ACK).
     bool drained() const { return pool_.liveCount() == 0; }
 
-    /// Select the engine: activity-driven (default) or the legacy
-    /// always-tick reference that visits every router every cycle. The
-    /// two are bit-identical; the reference exists for equivalence tests
-    /// and the hot-path ablation. Call before the first step.
-    void setActivityDriven(bool on);
-    bool activityDriven() const { return activityDriven_; }
+    /// Apply the engine selection (activity-driven vs. always-tick,
+    /// shard count, dispatch threshold) in one call. Must precede the
+    /// first step, except that `shardMinActive` alone may be re-tuned
+    /// mid-run (it only gates the dispatch heuristic, never results).
+    void configure(const EngineConfig &cfg);
+    const EngineConfig &engineConfig() const { return engineCfg_; }
 
-    /// Shard the router phase across `shards` threads (1 = serial, the
-    /// default). Bit-identical to the serial engine under either
-    /// setActivityDriven setting — see the file comment for the
-    /// schedule. Call before the first step.
-    void setShards(int shards);
-    int shards() const { return shards_; }
+    bool activityDriven() const { return engineCfg_.activityDriven; }
+    int shards() const { return engineCfg_.shards; }
 
-    /// Minimum live routers per shard before a cycle is dispatched to
-    /// the pool rather than run inline (default 2; 0 forces the parallel
-    /// path every cycle — equivalence tests use it to exercise the pool
-    /// on workloads of any size).
-    void setShardMinActive(int n) { shardMinActive_ = n; }
+    /// Deprecated shims over configure() — prefer one EngineConfig.
+    [[deprecated("use configure(EngineConfig)")]]
+    void setActivityDriven(bool on)
+    {
+        EngineConfig cfg = engineCfg_;
+        cfg.activityDriven = on;
+        configure(cfg);
+    }
+    [[deprecated("use configure(EngineConfig)")]]
+    void setShards(int shards)
+    {
+        EngineConfig cfg = engineCfg_;
+        cfg.shards = shards;
+        configure(cfg);
+    }
+    [[deprecated("use configure(EngineConfig)")]]
+    void setShardMinActive(int n)
+    {
+        // Preserves the historical mid-run-callable contract: tune the
+        // dispatch threshold without touching engine or shard state.
+        engineCfg_.shardMinActive = n;
+    }
 
     /// Open the measurement window [start, end): latency is recorded for
     /// packets generated inside it, per-flow throughput for deliveries
@@ -151,7 +164,7 @@ class NetSim {
     PacketPool pool_;
     SimMetrics metrics_;
     Cycle now_ = 0;
-    bool activityDriven_ = true;
+    EngineConfig engineCfg_;
     TraceSink *trace_ = nullptr; ///< flit-trace recorder (null = off)
 
   private:
@@ -182,8 +195,6 @@ class NetSim {
     std::vector<NodeId> active_; ///< sorted ids of routers with work
     std::vector<Region> regions_;
     std::unique_ptr<ShardPool> shardPool_;
-    int shards_ = 1;
-    int shardMinActive_ = 2;
 };
 
 } // namespace taqos

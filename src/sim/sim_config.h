@@ -23,4 +23,24 @@ testPhases()
     return RunPhases{2000, 6000, 4000};
 }
 
+/// Engine selection for a NetSim, applied in one NetSim::configure call
+/// before the first step. Replaces the deprecated setActivityDriven /
+/// setShards / setShardMinActive mutator trio.
+struct EngineConfig {
+    /// Activity-driven router phase (default) vs. the always-tick
+    /// reference that visits every router every cycle. Bit-identical;
+    /// the reference exists for equivalence tests and ablations.
+    bool activityDriven = true;
+
+    /// Threads sharding the router phase (1 = serial). Bit-identical to
+    /// the serial engine under either activityDriven setting.
+    int shards = 1;
+
+    /// Minimum live routers per shard before a cycle is dispatched to
+    /// the thread pool rather than run inline (0 forces the parallel
+    /// path every cycle — equivalence tests use it to exercise the pool
+    /// on workloads of any size).
+    int shardMinActive = 2;
+};
+
 } // namespace taqos

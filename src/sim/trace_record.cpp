@@ -4,6 +4,7 @@
 #include "noc/packet.h"
 #include "noc/ports.h"
 #include "qos/audit.h"
+#include "topo/fabric.h"
 
 namespace taqos {
 
@@ -26,6 +27,32 @@ describeColumn(const ColumnConfig &col)
     const QosAuditBounds bounds = defaultAuditBounds(col.mode);
     m.maxAge = bounds.maxPacketAge;
     m.wrrTol = bounds.wrrTolerance;
+    return m;
+}
+
+TraceMeta
+describeFabric(const FabricNetwork &net)
+{
+    TraceMeta m;
+    m.topology = std::string("fabric-") +
+                 topologyName(net.spec().column.topology);
+    bool mixed = false;
+    for (int g = 0; g < net.blocks(); ++g)
+        mixed = mixed || net.blockMode(g) != net.mode();
+    m.mode = mixed ? "mixed" : qosModeName(net.mode());
+    m.nodes = net.numNodes();
+    m.injectorsPerNode = net.slotsPerNode();
+    m.flows = net.totalFlows();
+    const PvcParams &pvc = net.pvcParams();
+    m.frameLen = pvc.frameLen;
+    m.quotaEnabled = pvc.quotaEnabled;
+    m.quotaProtect = pvc.quotaProtectFactor;
+    m.windowLimit = pvc.windowLimit;
+    m.gsfFrameLen = pvc.gsfFrameLen;
+    m.gsfFrames = pvc.gsfFrames;
+    m.weights = pvc.weights;
+    m.maxAge = 0; // row + link transit is policy-independent latency
+    m.wrrTol = defaultAuditBounds(net.mode()).wrrTolerance;
     return m;
 }
 
@@ -199,6 +226,20 @@ TraceRecorder::retire(Cycle now, const NetPacket &pkt)
     e.kind = TraceEventKind::Retire;
     e.cycle = bump(now);
     e.pkt = pkt.id;
+    trace_.events.push_back(e);
+}
+
+void
+TraceRecorder::segment(Cycle now, const InputPort &port, int vc,
+                       const NetPacket &pkt, NodeId newDst)
+{
+    TraceEvent e;
+    e.kind = TraceEventKind::Segment;
+    e.cycle = bump(now);
+    e.port = portId(port);
+    e.vc = vc;
+    e.pkt = pkt.id;
+    e.dst = newDst;
     trace_.events.push_back(e);
 }
 

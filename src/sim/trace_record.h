@@ -22,9 +22,18 @@
 
 namespace taqos {
 
+class FabricNetwork;
+
 /// TraceMeta for a run over one QOS-protected column: topology, policy
 /// and QoS parameters plus the per-policy audit bounds (qos/audit.h).
 TraceMeta describeColumn(const ColumnConfig &col);
+
+/// TraceMeta for a multi-chip fabric run (topo/fabric.h). The topology
+/// string is "fabric-<column topology>" (no route-adjacency family) and
+/// the mode is "mixed" when the per-block policies differ, which turns
+/// the per-policy audits off; the age audit is skipped because row and
+/// inter-chip transit add policy-independent latency.
+TraceMeta describeFabric(const FabricNetwork &net);
 
 class TraceRecorder final : public TraceSink {
   public:
@@ -56,6 +65,8 @@ class TraceRecorder final : public TraceSink {
     void deliver(Cycle now, const InputPort &port, int vc,
                  const NetPacket &pkt) override;
     void retire(Cycle now, const NetPacket &pkt) override;
+    void segment(Cycle now, const InputPort &port, int vc,
+                 const NetPacket &pkt, NodeId newDst) override;
 
   private:
     std::int32_t portId(const InputPort &port) const;

@@ -13,9 +13,9 @@
 namespace taqos {
 
 void
-buildFlatButterflyColumn(ColumnNetwork &net)
+buildFlatButterflyColumn(const ColumnWiring &w)
 {
-    const ColumnConfig &cfg = net.cfg();
+    const ColumnConfig &cfg = w.cfg;
     const int n = cfg.numNodes;
     const int vcs = cfg.effectiveVcs();
     const int depth = pipelineDepth(cfg.topology);
@@ -25,31 +25,31 @@ buildFlatButterflyColumn(ColumnNetwork &net)
         static_cast<std::size_t>(n),
         std::vector<InputPort *>(static_cast<std::size_t>(n), nullptr));
 
-    for (NodeId j = 0; j < n; ++j) {
-        Router *r = net.router(j);
-        for (NodeId s = 0; s < n; ++s) {
+    for (int j = 0; j < n; ++j) {
+        Router *r = w.router(j);
+        for (int s = 0; s < n; ++s) {
             if (s == j)
                 continue;
             const int span = s < j ? j - s : s - j;
             inFrom[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] =
-                net.makeNetInput(r,
-                                 "fb_in_" + std::to_string(j) + "_from_" +
-                                     std::to_string(s),
-                                 j, vcs, /*creditDelay=*/span, depth,
-                                 /*passThrough=*/false, r->addXbarGroup());
+                w.makeNetInput(r,
+                               "fb_in_" + std::to_string(j) + "_from_" +
+                                   std::to_string(s),
+                               j, vcs, /*creditDelay=*/span, depth,
+                               /*passThrough=*/false, r->addXbarGroup());
         }
     }
 
-    for (NodeId i = 0; i < n; ++i) {
-        Router *r = net.router(i);
-        for (NodeId d = 0; d < n; ++d) {
+    for (int i = 0; i < n; ++i) {
+        Router *r = w.router(i);
+        for (int d = 0; d < n; ++d) {
             if (d == i)
                 continue;
             auto out = std::make_unique<OutputPort>();
-            out->name = "fb_out_" + std::to_string(i) + "_to_" +
-                        std::to_string(d);
-            out->node = i;
-            out->tableIdx = ColumnNetwork::nextTableIdx(r);
+            out->name = w.name("fb_out_" + std::to_string(i) + "_to_" +
+                               std::to_string(d));
+            out->node = w.node(i);
+            out->tableIdx = Network::nextTableIdx(r);
             const int span = d < i ? i - d : d - i;
             out->drops.push_back(OutputPort::Drop{
                 inFrom[static_cast<std::size_t>(d)]
@@ -58,9 +58,9 @@ buildFlatButterflyColumn(ColumnNetwork &net)
                 /*meshHops=*/static_cast<double>(span)});
             const int idx = static_cast<int>(r->outputs().size());
             r->addOutputPort(std::move(out));
-            r->setRoute(d, RouteEntry{idx, 1, 0});
+            w.setRoute(r, d, RouteEntry{idx, 1, 0});
         }
-        net.addTerminalOutput(i);
+        w.addTerminalOutput(i);
     }
 }
 

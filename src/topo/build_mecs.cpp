@@ -13,9 +13,9 @@
 namespace taqos {
 
 void
-buildMecsColumn(ColumnNetwork &net)
+buildMecsColumn(const ColumnWiring &w)
 {
-    const ColumnConfig &cfg = net.cfg();
+    const ColumnConfig &cfg = w.cfg;
     const int n = cfg.numNodes;
     const int vcs = cfg.effectiveVcs();
     const int depth = pipelineDepth(cfg.topology);
@@ -25,36 +25,36 @@ buildMecsColumn(ColumnNetwork &net)
         static_cast<std::size_t>(n),
         std::vector<InputPort *>(static_cast<std::size_t>(n), nullptr));
 
-    for (NodeId j = 0; j < n; ++j) {
-        Router *r = net.router(j);
+    for (int j = 0; j < n; ++j) {
+        Router *r = w.router(j);
         XbarGroup *northGroup = j > 0 ? r->addXbarGroup() : nullptr;
         XbarGroup *southGroup = j < n - 1 ? r->addXbarGroup() : nullptr;
-        for (NodeId s = 0; s < n; ++s) {
+        for (int s = 0; s < n; ++s) {
             if (s == j)
                 continue;
             const int span = s < j ? j - s : s - j;
             // Credits ride back over the span; VC provisioning (14) covers
             // the worst-case round trip (Table 1).
             inFrom[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] =
-                net.makeNetInput(r,
-                                 "mecs_in_" + std::to_string(j) + "_from_" +
-                                     std::to_string(s),
-                                 j, vcs, /*creditDelay=*/span, depth,
-                                 /*passThrough=*/false,
-                                 s < j ? northGroup : southGroup);
+                w.makeNetInput(r,
+                               "mecs_in_" + std::to_string(j) + "_from_" +
+                                   std::to_string(s),
+                               j, vcs, /*creditDelay=*/span, depth,
+                               /*passThrough=*/false,
+                               s < j ? northGroup : southGroup);
         }
     }
 
-    for (NodeId i = 0; i < n; ++i) {
-        Router *r = net.router(i);
+    for (int i = 0; i < n; ++i) {
+        Router *r = w.router(i);
 
         if (i > 0) {
             auto out = std::make_unique<OutputPort>();
-            out->name = "mecs_out_n_" + std::to_string(i);
-            out->node = i;
-            out->tableIdx = ColumnNetwork::nextTableIdx(r);
+            out->name = w.name("mecs_out_n_" + std::to_string(i));
+            out->node = w.node(i);
+            out->tableIdx = Network::nextTableIdx(r);
             // Drops ordered by distance: dropIdx = span - 1.
-            for (NodeId j = i - 1; j >= 0; --j) {
+            for (int j = i - 1; j >= 0; --j) {
                 out->drops.push_back(OutputPort::Drop{
                     inFrom[static_cast<std::size_t>(j)]
                           [static_cast<std::size_t>(i)],
@@ -63,16 +63,16 @@ buildMecsColumn(ColumnNetwork &net)
             }
             const int idx = static_cast<int>(r->outputs().size());
             r->addOutputPort(std::move(out));
-            for (NodeId d = 0; d < i; ++d)
-                r->setRoute(d, RouteEntry{idx, 1, i - d - 1});
+            for (int d = 0; d < i; ++d)
+                w.setRoute(r, d, RouteEntry{idx, 1, i - d - 1});
         }
 
         if (i < n - 1) {
             auto out = std::make_unique<OutputPort>();
-            out->name = "mecs_out_s_" + std::to_string(i);
-            out->node = i;
-            out->tableIdx = ColumnNetwork::nextTableIdx(r);
-            for (NodeId j = i + 1; j < n; ++j) {
+            out->name = w.name("mecs_out_s_" + std::to_string(i));
+            out->node = w.node(i);
+            out->tableIdx = Network::nextTableIdx(r);
+            for (int j = i + 1; j < n; ++j) {
                 out->drops.push_back(OutputPort::Drop{
                     inFrom[static_cast<std::size_t>(j)]
                           [static_cast<std::size_t>(i)],
@@ -81,11 +81,11 @@ buildMecsColumn(ColumnNetwork &net)
             }
             const int idx = static_cast<int>(r->outputs().size());
             r->addOutputPort(std::move(out));
-            for (NodeId d = i + 1; d < n; ++d)
-                r->setRoute(d, RouteEntry{idx, 1, d - i - 1});
+            for (int d = i + 1; d < n; ++d)
+                w.setRoute(r, d, RouteEntry{idx, 1, d - i - 1});
         }
 
-        net.addTerminalOutput(i);
+        w.addTerminalOutput(i);
     }
 }
 

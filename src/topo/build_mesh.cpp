@@ -10,9 +10,9 @@
 namespace taqos {
 
 void
-buildMeshColumn(ColumnNetwork &net)
+buildMeshColumn(const ColumnWiring &w)
 {
-    const ColumnConfig &cfg = net.cfg();
+    const ColumnConfig &cfg = w.cfg;
     const int n = cfg.numNodes;
     const int rep = replicationOf(cfg.topology);
     const int vcs = cfg.effectiveVcs();
@@ -25,43 +25,43 @@ buildMeshColumn(ColumnNetwork &net)
     std::vector<std::vector<InputPort *>> inSouth(
         static_cast<std::size_t>(n));
 
-    for (NodeId i = 0; i < n; ++i) {
-        Router *r = net.router(i);
+    for (int i = 0; i < n; ++i) {
+        Router *r = w.router(i);
         for (int k = 0; k < rep; ++k) {
             if (i > 0) {
                 inNorth[static_cast<std::size_t>(i)].push_back(
-                    net.makeNetInput(r,
-                                     "mesh_in_n" + std::to_string(k) + "_" +
-                                         std::to_string(i),
-                                     i, vcs, /*creditDelay=*/1, depth,
-                                     /*passThrough=*/false,
-                                     r->addXbarGroup()));
+                    w.makeNetInput(r,
+                                   "mesh_in_n" + std::to_string(k) + "_" +
+                                       std::to_string(i),
+                                   i, vcs, /*creditDelay=*/1, depth,
+                                   /*passThrough=*/false,
+                                   r->addXbarGroup()));
             }
             if (i < n - 1) {
                 inSouth[static_cast<std::size_t>(i)].push_back(
-                    net.makeNetInput(r,
-                                     "mesh_in_s" + std::to_string(k) + "_" +
-                                         std::to_string(i),
-                                     i, vcs, /*creditDelay=*/1, depth,
-                                     /*passThrough=*/false,
-                                     r->addXbarGroup()));
+                    w.makeNetInput(r,
+                                   "mesh_in_s" + std::to_string(k) + "_" +
+                                       std::to_string(i),
+                                   i, vcs, /*creditDelay=*/1, depth,
+                                   /*passThrough=*/false,
+                                   r->addXbarGroup()));
             }
         }
     }
 
-    for (NodeId i = 0; i < n; ++i) {
-        Router *r = net.router(i);
+    for (int i = 0; i < n; ++i) {
+        Router *r = w.router(i);
 
         if (i > 0) {
             const int base = static_cast<int>(r->outputs().size());
             // The rep parallel channels are one logical "north" output:
             // they share a single per-direction flow-state table.
-            const int table = ColumnNetwork::nextTableIdx(r);
+            const int table = Network::nextTableIdx(r);
             for (int k = 0; k < rep; ++k) {
                 auto out = std::make_unique<OutputPort>();
-                out->name = "mesh_out_n" + std::to_string(k) + "_" +
-                            std::to_string(i);
-                out->node = i;
+                out->name = w.name("mesh_out_n" + std::to_string(k) + "_" +
+                                   std::to_string(i));
+                out->node = w.node(i);
                 out->tableIdx = table;
                 out->drops.push_back(OutputPort::Drop{
                     inSouth[static_cast<std::size_t>(i - 1)]
@@ -69,18 +69,18 @@ buildMeshColumn(ColumnNetwork &net)
                     /*wireDelay=*/1, /*meshHops=*/1.0});
                 r->addOutputPort(std::move(out));
             }
-            for (NodeId d = 0; d < i; ++d)
-                r->setRoute(d, RouteEntry{base, rep, 0});
+            for (int d = 0; d < i; ++d)
+                w.setRoute(r, d, RouteEntry{base, rep, 0});
         }
 
         if (i < n - 1) {
             const int base = static_cast<int>(r->outputs().size());
-            const int table = ColumnNetwork::nextTableIdx(r);
+            const int table = Network::nextTableIdx(r);
             for (int k = 0; k < rep; ++k) {
                 auto out = std::make_unique<OutputPort>();
-                out->name = "mesh_out_s" + std::to_string(k) + "_" +
-                            std::to_string(i);
-                out->node = i;
+                out->name = w.name("mesh_out_s" + std::to_string(k) + "_" +
+                                   std::to_string(i));
+                out->node = w.node(i);
                 out->tableIdx = table;
                 out->drops.push_back(OutputPort::Drop{
                     inNorth[static_cast<std::size_t>(i + 1)]
@@ -88,11 +88,11 @@ buildMeshColumn(ColumnNetwork &net)
                     /*wireDelay=*/1, /*meshHops=*/1.0});
                 r->addOutputPort(std::move(out));
             }
-            for (NodeId d = i + 1; d < n; ++d)
-                r->setRoute(d, RouteEntry{base, rep, 0});
+            for (int d = i + 1; d < n; ++d)
+                w.setRoute(r, d, RouteEntry{base, rep, 0});
         }
 
-        net.addTerminalOutput(i);
+        w.addTerminalOutput(i);
     }
 }
 

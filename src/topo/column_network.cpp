@@ -4,24 +4,23 @@
 
 namespace taqos {
 
-ColumnNetwork::ColumnNetwork(ColumnConfig cfg)
-    : Network(cfg.mode, cfg.pvc), cfg_(std::move(cfg))
-{
-}
-
 void
-ColumnNetwork::initCommon()
+wireColumnInjection(const ColumnWiring &w)
 {
-    const int n = cfg_.numNodes;
-    const int depth = pipelineDepth(cfg_.topology);
+    const ColumnConfig &cfg = w.cfg;
+    const int n = cfg.numNodes;
+    const int depth = pipelineDepth(cfg.topology);
 
-    injectors_.resize(static_cast<std::size_t>(cfg_.numFlows()));
+    const std::size_t needed =
+        static_cast<std::size_t>(w.flowBase + cfg.numFlows());
+    if (w.net.injectors().size() < needed)
+        w.net.injectors().resize(needed);
 
-    for (NodeId i = 0; i < n; ++i) {
-        Router *r = addRouter(i);
+    for (int i = 0; i < n; ++i) {
+        Router *r = w.addRouter(i);
 
         // Ejection buffer at the terminal (memory controller).
-        addTermPort(i, cfg_.ejectionVcs);
+        w.addTermPort(i, cfg.ejectionVcs);
 
         // Injection: terminal port + shared east/west row ports. Up to
         // four row MECS inputs share a crossbar port (Sec. 4).
@@ -30,8 +29,8 @@ ColumnNetwork::initCommon()
             int first;
             int count;
         };
-        const int east = cfg_.eastRowInjectors;
-        const int west = cfg_.injectorsPerNode - 1 - east;
+        const int east = cfg.eastRowInjectors;
+        const int west = cfg.injectorsPerNode - 1 - east;
         const Group groups[] = {
             {"inj_term_", 0, 1},
             {"inj_east_", 1, east},
@@ -41,18 +40,18 @@ ColumnNetwork::initCommon()
             if (g.count <= 0)
                 continue;
             auto port = std::make_unique<InputPort>();
-            port->name = g.name + std::to_string(i);
-            port->node = i;
+            port->name = w.name(g.name + std::to_string(i));
+            port->node = w.node(i);
             port->kind = InputPort::Kind::Injection;
             port->pipelineDelay = depth;
             port->group = r->addXbarGroup();
             for (int k = 0; k < g.count; ++k) {
-                const FlowId flow = cfg_.flowOf(i, g.first + k);
+                const FlowId flow = w.flow(i, g.first + k);
                 InjectorQueue &inj =
-                    injectors_[static_cast<std::size_t>(flow)];
+                    w.net.injectors()[static_cast<std::size_t>(flow)];
                 inj.flow = flow;
-                inj.node = i;
-                inj.windowLimit = cfg_.pvc.windowLimit;
+                inj.node = w.node(i);
+                inj.windowLimit = cfg.pvc.windowLimit;
                 port->injectors.push_back(&inj);
             }
             r->addInputPort(std::move(port));
@@ -61,25 +60,56 @@ ColumnNetwork::initCommon()
 }
 
 void
-ColumnNetwork::wireColumn()
+wireColumnTopology(const ColumnWiring &w)
 {
-    initCommon();
-    switch (cfg_.topology) {
+    switch (w.cfg.topology) {
       case TopologyKind::MeshX1:
       case TopologyKind::MeshX2:
       case TopologyKind::MeshX4:
-        buildMeshColumn(*this);
+        buildMeshColumn(w);
         break;
       case TopologyKind::Mecs:
-        buildMecsColumn(*this);
+        buildMecsColumn(w);
         break;
       case TopologyKind::Dps:
-        buildDpsColumn(*this);
+        buildDpsColumn(w);
         break;
       case TopologyKind::FlatButterfly:
-        buildFlatButterflyColumn(*this);
+        buildFlatButterflyColumn(w);
         break;
     }
+}
+
+void
+wireColumnBlock(const ColumnWiring &w)
+{
+    wireColumnInjection(w);
+    wireColumnTopology(w);
+}
+
+ColumnNetwork::ColumnNetwork(ColumnConfig cfg)
+    : Network(cfg.mode, cfg.pvc), cfg_(std::move(cfg))
+{
+}
+
+ColumnWiring
+ColumnNetwork::identityWiring() const
+{
+    auto &self = const_cast<ColumnNetwork &>(*this);
+    return ColumnWiring{self,   cfg_,          0, 0, "",
+                        mode(), reservedIdx(), unbounded()};
+}
+
+void
+ColumnNetwork::initCommon()
+{
+    wireColumnInjection(identityWiring());
+}
+
+void
+ColumnNetwork::wireColumn()
+{
+    wireColumnBlock(identityWiring());
 }
 
 std::unique_ptr<ColumnNetwork>

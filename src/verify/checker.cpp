@@ -33,6 +33,7 @@ familyOf(const std::string &topology)
 enum class PktPhase {
     InFlight,
     Dropped,   ///< preempted, awaiting retransmission
+    Staged,    ///< completed a segment, awaiting re-injection (handoff)
     Delivered,
     Retired,
 };
@@ -121,6 +122,7 @@ class Checker {
     void onRequeue(const TraceEvent &e);
     void onDeliver(const TraceEvent &e);
     void onRetire(const TraceEvent &e);
+    void onSegment(const TraceEvent &e);
     void finishChecks();
 
     // --- QoS audits ---
@@ -230,9 +232,11 @@ Checker::onInject(const TraceEvent &e)
         }
         if (e.attempt != p.attempt + 1)
             add("conservation", e, "attempt number did not increment");
-        if (wrrOn_ && p.phase == PktPhase::Dropped)
+        if (wrrOn_ && (p.phase == PktPhase::Dropped ||
+                       p.phase == PktPhase::Staged)) {
             backlog_[static_cast<std::size_t>(p.flow)].emplace_back(
                 p.lastTerm, e.cycle);
+        }
         p.attempt = e.attempt;
         p.frameTag = e.frameTag;
         p.phase = PktPhase::InFlight;
@@ -570,6 +574,52 @@ Checker::onRetire(const TraceEvent &e)
 }
 
 void
+Checker::onSegment(const TraceEvent &e)
+{
+    if (!portValid(e.port)) {
+        add("route", e, "segment handoff at unknown port");
+        return;
+    }
+    const TracePortInfo &at = port(e.port);
+    auto pit = pkts_.find(e.pkt);
+    if (pit == pkts_.end()) {
+        add("conservation", e, "segment handoff of a never-injected packet");
+        return;
+    }
+    PktState &p = pit->second;
+    if (p.phase != PktPhase::InFlight) {
+        add("conservation", e, "segment handoff of a packet not in flight");
+        return;
+    }
+    if (at.terminal)
+        add("route", e, "segment handoff at a terminal ejection port");
+    if (e.dst == p.dst) {
+        add("route", e,
+            "segment handoff without a destination change (no-op segment)");
+    }
+    // The segment boundary ends this attempt's service; the packet sits
+    // in a source queue until it is re-injected toward the new
+    // destination (attempt + 1).
+    p.phase = PktPhase::Staged;
+    p.lastTerm = e.cycle;
+    p.dst = e.dst;
+    p.curNode = at.node;
+    if (pvcOn_) {
+        auto ait = liveAttempt_.find(e.pkt);
+        if (ait != liveAttempt_.end()) {
+            attempts_[static_cast<std::size_t>(p.flow)][ait->second].term =
+                e.cycle;
+            liveAttempt_.erase(ait);
+        }
+    }
+    if (gsfOn_ && p.frameTag != kTraceNoTag) {
+        auto git = gsfInFlight_.find(p.frameTag);
+        if (git != gsfInFlight_.end() && --git->second == 0)
+            gsfInFlight_.erase(git);
+    }
+}
+
+void
 Checker::auditWrr()
 {
     if (meta_.measureEnd <= meta_.measureStart)
@@ -634,7 +684,8 @@ Checker::finishChecks()
     if (meta_.drained) {
         for (const auto &[id, p] : pkts_) {
             if (p.phase == PktPhase::InFlight ||
-                p.phase == PktPhase::Dropped) {
+                p.phase == PktPhase::Dropped ||
+                p.phase == PktPhase::Staged) {
                 addEnd("conservation", id,
                        "run claims to have drained but this packet was "
                        "injected and never delivered (lost)");
@@ -649,8 +700,10 @@ Checker::finishChecks()
     }
     if (opts_.qosAudit && meta_.maxAge > 0) {
         for (const auto &[id, p] : pkts_) {
-            if (p.phase != PktPhase::InFlight && p.phase != PktPhase::Dropped)
+            if (p.phase == PktPhase::Delivered ||
+                p.phase == PktPhase::Retired) {
                 continue;
+            }
             if (meta_.endCycle > p.gen &&
                 meta_.endCycle - p.gen > meta_.maxAge) {
                 addEnd("age-bound", id,
@@ -715,6 +768,7 @@ Checker::run()
           case TraceEventKind::Requeue: onRequeue(e); break;
           case TraceEventKind::Deliver: onDeliver(e); break;
           case TraceEventKind::Retire: onRetire(e); break;
+          case TraceEventKind::Segment: onSegment(e); break;
         }
         if (report_.violations.size() >= opts_.maxViolations)
             break;

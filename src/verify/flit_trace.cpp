@@ -41,6 +41,9 @@ writeEvent(std::ostream &os, const TraceEvent &e)
       case TraceEventKind::Retire:
         os << ' ' << e.pkt;
         break;
+      case TraceEventKind::Segment:
+        os << ' ' << e.port << ' ' << e.vc << ' ' << e.pkt << ' ' << e.dst;
+        break;
     }
     os << '\n';
 }
@@ -124,6 +127,7 @@ parseEvent(const std::string &line, TraceEvent &e)
       case 'Q': e.kind = TraceEventKind::Requeue; break;
       case 'D': e.kind = TraceEventKind::Deliver; break;
       case 'A': e.kind = TraceEventKind::Retire; break;
+      case 'S': e.kind = TraceEventKind::Segment; break;
       default: return false;
     }
     if (!r.nextU64(u))
@@ -165,6 +169,12 @@ parseEvent(const std::string &line, TraceEvent &e)
       case TraceEventKind::Retire:
         if (!r.nextU64(e.pkt))
             return false;
+        break;
+      case TraceEventKind::Segment:
+        if (!r.nextI32(e.port) || !r.nextI32(e.vc) || !r.nextU64(e.pkt) ||
+            !r.nextI32(e.dst)) {
+            return false;
+        }
         break;
     }
     return r.atEnd();
@@ -241,7 +251,7 @@ parseFlitTrace(std::istream &is, FlitTrace &out, std::string &error)
         std::int32_t version = 0;
         if (!r.next(magic) || magic != kMagic || !r.nextI32(version))
             return fail(error, lineNo, "not a taqos flit trace");
-        if (version != kFlitTraceVersion) {
+        if (version < kMinFlitTraceVersion || version > kFlitTraceVersion) {
             return fail(error, lineNo,
                         "unsupported trace version " +
                             std::to_string(version));

@@ -8,9 +8,9 @@
 /// checker side must not depend on router/engine internals, and the
 /// engine side only needs the container to fill it.
 ///
-/// Text layout (version 1):
+/// Text layout (version 2; version-1 traces parse unchanged):
 ///
-///   taqos-flit-trace 1
+///   taqos-flit-trace 2
 ///   <key> <value...>          # meta, one per line, order-free
 ///   port <id> <node> <term> <name>
 ///   events <count>
@@ -26,6 +26,14 @@
 ///   Q cycle pkt                         NACK requeued at source
 ///   D cycle port vc pkt                 delivered at destination terminal
 ///   A cycle pkt                         ACKed / retired
+///   S cycle port vc pkt dst             segment handoff (v2): the packet
+///                                       completed one journey segment at
+///                                       (port, vc) — a chip row arriving
+///                                       at its column boundary, or an
+///                                       inter-chip gateway — and will be
+///                                       re-injected toward the new
+///                                       destination `dst` with the
+///                                       attempt counter incremented
 #pragma once
 
 #include <cstdint>
@@ -37,7 +45,10 @@
 
 namespace taqos {
 
-inline constexpr int kFlitTraceVersion = 1;
+inline constexpr int kFlitTraceVersion = 2;
+/// Oldest version the parser still accepts (version 1 lacks only the
+/// segment-handoff event, so replay is unchanged).
+inline constexpr int kMinFlitTraceVersion = 1;
 
 /// "No GSF frame tag" sentinel (mirrors noc kNoFrameTag without the
 /// dependency).
@@ -54,6 +65,7 @@ enum class TraceEventKind : char {
     Requeue = 'Q',
     Deliver = 'D',
     Retire = 'A',
+    Segment = 'S',
 };
 
 struct TraceEvent {
@@ -64,7 +76,8 @@ struct TraceEvent {
     std::int32_t port = -1; ///< R/N/F/H/D: input-port id
     std::int32_t vc = -1;
 
-    // Inject-only payload (the packet's identity and attempt state).
+    // Inject payload (the packet's identity and attempt state); `dst` is
+    // also the Segment event's next-segment destination.
     FlowId flow = kInvalidFlow;
     std::int32_t src = -1;
     std::int32_t dst = -1;

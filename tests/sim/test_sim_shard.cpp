@@ -7,6 +7,7 @@
 /// state); and the deterministic partition/budget planners.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -85,6 +86,128 @@ TEST(ShardPlan, MoreShardsThanNodesDegradesToOnePerNode)
     }
 }
 
+// ----------------------------------------------------- kilo-node plans
+
+TEST(ShardPlan, KiloNodeWeightedPartitionBalancesEveryRegion)
+{
+    // 1200 nodes with a deterministic non-uniform weight texture.
+    std::vector<std::uint64_t> weights;
+    std::uint64_t total = 0;
+    for (int n = 0; n < 1200; ++n) {
+        weights.push_back(1 + static_cast<std::uint64_t>(n * 7919) % 13);
+        total += weights.back();
+    }
+    const std::uint64_t maxW =
+        *std::max_element(weights.begin(), weights.end());
+
+    for (int shards : {2, 4, 8, 16}) {
+        const auto ranges = planShardRanges(weights, shards);
+        ASSERT_EQ(ranges.size(), static_cast<std::size_t>(shards));
+        NodeId expectBegin = 0;
+        const std::uint64_t ideal =
+            total / static_cast<std::uint64_t>(shards);
+        for (const auto &[begin, end] : ranges) {
+            EXPECT_EQ(begin, expectBegin);
+            ASSERT_LT(begin, end);
+            expectBegin = end;
+            std::uint64_t region = 0;
+            for (NodeId n = begin; n < end; ++n)
+                region += weights[static_cast<std::size_t>(n)];
+            // A greedy prefix cut can miss the ideal share by at most
+            // one node's weight on either side.
+            EXPECT_LE(region, ideal + maxW) << "shards " << shards;
+            EXPECT_GE(region + maxW, ideal) << "shards " << shards;
+        }
+        EXPECT_EQ(expectBegin, 1200);
+    }
+}
+
+TEST(ShardPlan, KiloNodeUnevenRegionsNeverStackTwoSpikes)
+{
+    // A few very heavy nodes in a sea of light ones (the shape of block
+    // nodes vs compute nodes). The greedy cut guarantees a region never
+    // overshoots its ideal share by more than one node's weight — so no
+    // region can absorb two spikes, and region sizes go very uneven.
+    std::vector<std::uint64_t> weights(1100, 1);
+    std::uint64_t total = 0;
+    for (std::size_t n = 100; n < weights.size(); n += 250)
+        weights[n] = 2000;
+    for (std::uint64_t w : weights)
+        total += w;
+    const std::uint64_t ideal = total / 8;
+    ASSERT_LT(ideal + 2000, 2 * 2000); // the bound excludes double spikes
+
+    const auto ranges = planShardRanges(weights, 8);
+    ASSERT_EQ(ranges.size(), 8u);
+    EXPECT_EQ(ranges.back().second, 1100);
+    NodeId minSize = 1100, maxSize = 0;
+    for (const auto &[begin, end] : ranges) {
+        ASSERT_LT(begin, end);
+        std::uint64_t region = 0;
+        std::size_t spikes = 0;
+        for (NodeId n = begin; n < end; ++n) {
+            region += weights[static_cast<std::size_t>(n)];
+            spikes += weights[static_cast<std::size_t>(n)] == 2000;
+        }
+        EXPECT_LE(region, ideal + 2000);
+        EXPECT_LE(spikes, 1u);
+        minSize = std::min(minSize, end - begin);
+        maxSize = std::max(maxSize, end - begin);
+    }
+    // Spike regions stay node-poor, all-light regions node-rich.
+    EXPECT_LT(minSize * 2, maxSize);
+}
+
+TEST(ShardPlan, MultiChipFabricWeightsSpanTheWholeIdSpace)
+{
+    // The real kilo-node structure: 4 chips x 16x16 nodes x 2 shared
+    // columns. Block nodes carry the per-flow injector queues and so
+    // must weigh more than compute nodes; the planner must still cover
+    // the full multi-chip node-id space with contiguous regions.
+    FabricSpec spec;
+    spec.chips = 4;
+    spec.chip.tilesX = 32;
+    spec.chip.tilesY = 32;
+    spec.chip.sharedColumns = {4, 12};
+    spec.column = paperColumn(TopologyKind::Dps, QosMode::Pvc);
+    const auto net = FabricNetwork::build(spec);
+
+    const auto weights = shardWeights(*net);
+    ASSERT_EQ(weights.size(), 1024u);
+    std::uint64_t blockW = 0, blockN = 0, computeW = 0, computeN = 0;
+    for (NodeId n = 0; n < net->numNodes(); ++n) {
+        if (net->isBlockNode(n)) {
+            blockW += weights[static_cast<std::size_t>(n)];
+            ++blockN;
+        } else {
+            computeW += weights[static_cast<std::size_t>(n)];
+            ++computeN;
+        }
+    }
+    EXPECT_GT(blockW / blockN, computeW / computeN);
+
+    for (int shards : {4, 8}) {
+        const auto ranges = planShardRanges(weights, shards);
+        ASSERT_EQ(ranges.size(), static_cast<std::size_t>(shards));
+        NodeId expectBegin = 0;
+        for (const auto &[begin, end] : ranges) {
+            EXPECT_EQ(begin, expectBegin);
+            EXPECT_LT(begin, end);
+            expectBegin = end;
+        }
+        EXPECT_EQ(expectBegin, net->numNodes());
+    }
+
+    // Weight-balanced regions put more routers in compute-heavy spans:
+    // with 8 regions over 4 chips, region sizes must differ (a plain
+    // node-count split would make them all 128).
+    const auto ranges = planShardRanges(weights, 8);
+    bool uneven = false;
+    for (const auto &[begin, end] : ranges)
+        uneven = uneven || (end - begin != 128);
+    EXPECT_TRUE(uneven);
+}
+
 // ------------------------------------------------- sweep thread budget
 
 TEST(ShardPlan, SweepBudgetDividesMachineByShards)
@@ -99,6 +222,11 @@ TEST(ShardPlan, SweepBudgetDividesMachineByShards)
     EXPECT_EQ(sweepWorkerBudget(0, 3, 1, 16), 3);
     EXPECT_EQ(sweepWorkerBudget(0, 100, 8, 4), 1);
     EXPECT_EQ(sweepWorkerBudget(0, 0, 1, 0), 1);
+    // Kilo-cell sweeps of kilo-node fabrics: workers x shards still
+    // never exceeds the machine.
+    EXPECT_EQ(sweepWorkerBudget(0, 1024, 8, 64), 8);
+    EXPECT_EQ(sweepWorkerBudget(16, 1024, 8, 64), 8);
+    EXPECT_EQ(sweepWorkerBudget(0, 1024, 1, 64), 64);
 }
 
 // -------------------------------------------------- toggle equivalence
