@@ -73,7 +73,7 @@ timedRun(TopologyKind kind, double rate, Cycle cycles, bool activity,
     traffic.pattern = TrafficPattern::UniformRandom;
     traffic.injectionRate = rate;
     ColumnSim sim(col, traffic);
-    sim.setActivityDriven(activity);
+    sim.configure({.activityDriven = activity});
     sim.setMeasureWindow(cycles / 4, cycles);
     const auto t0 = std::chrono::steady_clock::now();
     sim.run(cycles);
@@ -124,7 +124,7 @@ timedColumnRun(std::string name, const ColumnConfig &col, double rate,
         traffic.injectionRate = rate;
         ColumnSim sim(col, traffic);
         if (shards > 1)
-            sim.setShards(shards);
+            sim.configure({.shards = shards});
         sim.setMeasureWindow(cycles / 4, cycles);
         const auto t0 = std::chrono::steady_clock::now();
         sim.run(cycles);
@@ -152,7 +152,7 @@ timedChipRun(std::string name, Cycle cycles, int shards, int reps)
         traffic.injectionRate = 0.05;
         ChipSim sim(cc, traffic);
         if (shards > 1)
-            sim.setShards(shards);
+            sim.configure({.shards = shards});
         sim.setMeasureWindow(cycles / 4, cycles);
         const auto t0 = std::chrono::steady_clock::now();
         sim.run(cycles);

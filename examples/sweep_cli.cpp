@@ -21,6 +21,13 @@
 ///                        bit-identical output — the runner divides the
 ///                        machine between cell workers and shards)
 ///   out=path.json        (write the taqos-sweep/v1 record)
+///   cache=DIR            content-addressed cell cache: cells already in
+///                        DIR are loaded instead of re-run, fresh cells
+///                        are stored; output stays byte-identical to a
+///                        cold sweep (invalidated by the engine salt)
+///   checkpoint=FILE      single-cell grids only: warm-start from (or,
+///                        cold, create) a checkpoint sidecar taken at
+///                        the warmup boundary; exclusive with cache=
 ///   name=label
 ///
 /// Examples:
@@ -35,6 +42,7 @@
 #include "common/strings.h"
 #include "common/table.h"
 #include "core/experiments.h"
+#include "exp/cell_cache.h"
 #include "exp/sweep.h"
 
 using namespace taqos;
@@ -143,7 +151,40 @@ main(int argc, char **argv)
 
     const int threads = static_cast<int>(opts.getInt("threads", 0));
     const SweepRunner runner(threads);
-    const SweepResult result = runner.run(spec);
+
+    const std::string cacheDir = opts.get("cache", "");
+    const std::string ckptFile = opts.get("checkpoint", "");
+    if (!cacheDir.empty() && !ckptFile.empty()) {
+        std::fprintf(stderr, "cache= and checkpoint= are exclusive\n");
+        return 1;
+    }
+
+    SweepResult result;
+    if (!ckptFile.empty()) {
+        result.spec = spec.canonical();
+        const std::vector<CellSpec> cells = result.spec.expand();
+        if (cells.size() != 1) {
+            std::fprintf(stderr,
+                         "checkpoint= needs a single-cell grid, got %zu "
+                         "cells\n",
+                         cells.size());
+            return 1;
+        }
+        bool restored = false;
+        result.cells.push_back(
+            SweepRunner::runCellCheckpointed(cells[0], ckptFile, &restored));
+        result.aggregates = aggregateCells(result.spec, result.cells);
+        std::printf("checkpoint %s: %s\n", ckptFile.c_str(),
+                    restored ? "restored (warmup skipped)"
+                             : "cold run (sidecar written)");
+    } else if (!cacheDir.empty()) {
+        CellCache cache(cacheDir);
+        result = runner.run(spec, &cache);
+        std::printf("cell cache %s: %zu hits, %zu misses\n",
+                    cacheDir.c_str(), result.cacheHits, result.cacheMisses);
+    } else {
+        result = runner.run(spec);
+    }
 
     std::printf("sweep '%s' (%s): %zu cells on %d threads, %.1f ms\n\n",
                 result.spec.name.c_str(),

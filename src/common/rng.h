@@ -10,6 +10,7 @@
 /// exp/ sweep workers) never share a stream — keep it that way.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -79,6 +80,19 @@ class Rng {
 
     /// Derive an independent stream (for per-injector generators).
     Rng split();
+
+    /// Raw generator state, for checkpointing. Restoring the four words
+    /// reproduces the stream exactly from where it left off.
+    std::array<std::uint64_t, 4> state() const
+    {
+        return {s_[0], s_[1], s_[2], s_[3]};
+    }
+
+    void setState(const std::array<std::uint64_t, 4> &s)
+    {
+        for (int i = 0; i < 4; ++i)
+            s_[i] = s[static_cast<std::size_t>(i)];
+    }
 
   private:
     static std::uint64_t rotl(std::uint64_t x, int k)

@@ -81,6 +81,17 @@ Histogram::clear()
     count_ = 0;
 }
 
+void
+Histogram::setCounts(const std::vector<std::uint64_t> &buckets,
+                     std::uint64_t overflow, std::uint64_t count)
+{
+    TAQOS_ASSERT(buckets.size() == buckets_.size(),
+                 "histogram restore geometry mismatch");
+    buckets_ = buckets;
+    overflow_ = overflow;
+    count_ = count;
+}
+
 double
 Histogram::percentile(double q) const
 {

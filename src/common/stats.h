@@ -29,6 +29,30 @@ class RunningStat {
     /// Merge another accumulator into this one (parallel sweeps).
     void merge(const RunningStat &other);
 
+    /// Raw Welford state, for checkpointing. min/max stay at their
+    /// +/-infinity sentinels while n == 0, so the round-trip must carry
+    /// them verbatim rather than via the clamped accessors above.
+    struct Raw {
+        std::uint64_t n = 0;
+        double mean = 0.0;
+        double m2 = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+        double sum = 0.0;
+    };
+
+    Raw raw() const { return {n_, mean_, m2_, min_, max_, sum_}; }
+
+    void setRaw(const Raw &r)
+    {
+        n_ = r.n;
+        mean_ = r.mean;
+        m2_ = r.m2;
+        min_ = r.min;
+        max_ = r.max;
+        sum_ = r.sum;
+    }
+
   private:
     std::uint64_t n_ = 0;
     double mean_ = 0.0;
@@ -59,6 +83,12 @@ class Histogram {
 
     /// Multi-line textual rendering for reports.
     std::string render(std::size_t maxRows = 20) const;
+
+    /// Overwrite the counters, for checkpointing. Bucket geometry is
+    /// configuration (rebuilt by the restoring sim), so only the counts
+    /// travel; the bucket count must match this histogram's.
+    void setCounts(const std::vector<std::uint64_t> &buckets,
+                   std::uint64_t overflow, std::uint64_t count);
 
   private:
     double bucketWidth_;

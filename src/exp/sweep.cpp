@@ -4,13 +4,18 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
 #include <thread>
+#include <unordered_map>
 
 #include "chip/os.h"
 #include "common/assert.h"
 #include "common/strings.h"
 #include "core/experiments.h"
 #include "core/maxmin.h"
+#include "exp/cell_cache.h"
 #include "exp/json_writer.h"
 #include "sim/chip_sim.h"
 #include "sim/column_sim.h"
@@ -77,57 +82,116 @@ putCommonColumnMetrics(CellResult &res, const ColumnSim &sim)
     res.put("delivered_packets", static_cast<double>(m.latency.count()));
 }
 
-CellResult
-runLatencyLoadCell(const CellSpec &cell)
+/// The two plain-column scenarios are split into build / collect so a
+/// replicate group sharing its traffic seed can warm one sim, snapshot
+/// it, and fork the remaining replicates from the checkpoint — the
+/// continuation is bit-identical to each replicate's own cold run.
+std::unique_ptr<ColumnSim>
+buildColumnCellSim(const CellSpec &cell)
 {
     const ColumnConfig col = cellColumn(cell);
     TrafficConfig traffic;
-    traffic.pattern = cell.pattern;
-    traffic.injectionRate = cell.rate;
+    if (cell.scenario == Scenario::Hotspot) {
+        traffic = makeHotspotAll(col, cell.rate);
+    } else {
+        traffic.pattern = cell.pattern;
+        traffic.injectionRate = cell.rate;
+    }
     traffic.seed = cell.seed;
-    ColumnSim sim(col, traffic);
-    sim.configure({.shards = cell.shards});
-    sim.setMeasureWindow(cell.phases.warmup, cell.phases.measureEnd());
-    sim.run(cell.phases.total());
+    auto sim = std::make_unique<ColumnSim>(col, traffic);
+    sim->configure({.shards = cell.shards});
+    sim->setMeasureWindow(cell.phases.warmup, cell.phases.measureEnd());
+    return sim;
+}
 
+CellResult
+collectColumnCellMetrics(const CellSpec &cell, const ColumnSim &sim)
+{
     const SimMetrics &m = sim.metrics();
     CellResult res;
     res.spec = cell;
     putCommonColumnMetrics(res, sim);
-    res.put("throughput",
-            m.throughputFlitsPerCycle(cell.phases.measure) / col.numFlows());
-    const double delivered = static_cast<double>(m.latency.count());
-    const double offered = static_cast<double>(m.measuredGenerated);
-    res.put("saturated",
-            offered > 0.0 && delivered < 0.95 * offered ? 1.0 : 0.0);
+    if (cell.scenario == Scenario::Hotspot) {
+        RunningStat rs;
+        for (auto flits : m.flowFlits)
+            rs.push(static_cast<double>(flits));
+        res.put("mean_flits", rs.mean());
+        res.put("min_flits", rs.min());
+        res.put("max_flits", rs.max());
+        res.put("stddev_flits", rs.stddev());
+        res.put("preemptions", static_cast<double>(m.preemptionEvents));
+    } else {
+        res.put("throughput", m.throughputFlitsPerCycle(cell.phases.measure) /
+                                  sim.cfg().numFlows());
+        const double delivered = static_cast<double>(m.latency.count());
+        const double offered = static_cast<double>(m.measuredGenerated);
+        res.put("saturated",
+                offered > 0.0 && delivered < 0.95 * offered ? 1.0 : 0.0);
+    }
     return res;
 }
 
 CellResult
-runHotspotCell(const CellSpec &cell)
+runColumnCell(const CellSpec &cell)
 {
-    const ColumnConfig col = cellColumn(cell);
-    TrafficConfig traffic = makeHotspotAll(col, cell.rate);
-    traffic.seed = cell.seed;
-    ColumnSim sim(col, traffic);
-    sim.configure({.shards = cell.shards});
-    sim.setMeasureWindow(cell.phases.warmup, cell.phases.measureEnd());
-    sim.run(cell.phases.total());
+    auto sim = buildColumnCellSim(cell);
+    sim->run(cell.phases.total());
+    return collectColumnCellMetrics(cell, *sim);
+}
 
-    RunningStat rs;
-    for (auto flits : sim.metrics().flowFlits)
-        rs.push(static_cast<double>(flits));
+/// Can cells of this shape share a warm checkpoint across replicates?
+/// Only the plain fixed-horizon column scenarios qualify (the
+/// adversarial and chip scenarios run to drain from cycle zero).
+bool
+warmShareable(const CellSpec &cell)
+{
+    return (cell.scenario == Scenario::LatencyLoad ||
+            cell.scenario == Scenario::Hotspot) &&
+           cell.phases.warmup > 0;
+}
 
-    CellResult res;
-    res.spec = cell;
-    putCommonColumnMetrics(res, sim);
-    res.put("mean_flits", rs.mean());
-    res.put("min_flits", rs.min());
-    res.put("max_flits", rs.max());
-    res.put("stddev_flits", rs.stddev());
-    res.put("preemptions",
-            static_cast<double>(sim.metrics().preemptionEvents));
-    return res;
+/// Dynamics key ignoring the replicate index: cells agreeing on it run
+/// the same simulation through the warmup. With mixed seeds each
+/// replicate's seed differs, so groups collapse to singletons and the
+/// cold path runs as before.
+std::uint64_t
+warmGroupKey(const CellSpec &cell)
+{
+    CellSpec k = cell;
+    k.replicate = 0;
+    return CellCache::cellKey(k);
+}
+
+/// Run one shared-warmup group: the first replicate's sim carries the
+/// warmup and is snapshotted at the warmup boundary; every later
+/// replicate restores the snapshot and runs only measure + drain.
+void
+runColumnGroup(const std::vector<CellSpec> &cells,
+               const std::vector<std::size_t> &unit,
+               std::vector<CellResult> &out)
+{
+    const CellSpec &first = cells[unit[0]];
+    auto warm = buildColumnCellSim(first);
+    warm->run(first.phases.warmup);
+    std::string snapshot;
+    {
+        std::ostringstream os;
+        warm->saveCheckpoint(os);
+        snapshot = os.str();
+    }
+    warm->run(first.phases.total() - first.phases.warmup);
+    out[unit[0]] = collectColumnCellMetrics(first, *warm);
+
+    for (std::size_t j = 1; j < unit.size(); ++j) {
+        const CellSpec &cell = cells[unit[j]];
+        auto sim = buildColumnCellSim(cell);
+        std::istringstream is(snapshot);
+        std::string err;
+        const bool ok = sim->restoreCheckpoint(is, &err);
+        TAQOS_ASSERT(ok, "warm-group restore failed: %s", err.c_str());
+        sim->run(cell.phases.total() - cell.phases.warmup);
+        out[unit[j]] = collectColumnCellMetrics(cell, *sim);
+    }
 }
 
 CellResult
@@ -584,8 +648,8 @@ CellResult
 SweepRunner::runCell(const CellSpec &cell)
 {
     switch (cell.scenario) {
-      case Scenario::LatencyLoad: return runLatencyLoadCell(cell);
-      case Scenario::Hotspot: return runHotspotCell(cell);
+      case Scenario::LatencyLoad: return runColumnCell(cell);
+      case Scenario::Hotspot: return runColumnCell(cell);
       case Scenario::Adversarial: return runAdversarialCell(cell);
       case Scenario::ChipConsolidation:
         return runChipConsolidationCell(cell);
@@ -594,8 +658,63 @@ SweepRunner::runCell(const CellSpec &cell)
     return CellResult{};
 }
 
+namespace {
+
+/// Sidecar magic for runCellCheckpointed (followed by the u64 cell key,
+/// then the NetSim checkpoint stream).
+constexpr char kSidecarMagic[8] = {'T', 'Q', 'S', 'W', 'C', 'K', 'P', 'T'};
+
+} // namespace
+
+CellResult
+SweepRunner::runCellCheckpointed(const CellSpec &cell,
+                                 const std::string &ckptFile, bool *restored)
+{
+    if (restored != nullptr)
+        *restored = false;
+    if (!warmShareable(cell))
+        return runCell(cell);
+
+    const std::uint64_t key = CellCache::cellKey(cell);
+
+    // Warm path: a sidecar keyed to this very cell restores in place of
+    // the warmup run.
+    {
+        std::ifstream is(ckptFile, std::ios::binary);
+        char magic[8];
+        std::uint64_t fileKey = 0;
+        if (is.read(magic, sizeof(magic)) &&
+            std::memcmp(magic, kSidecarMagic, sizeof(magic)) == 0 &&
+            is.read(reinterpret_cast<char *>(&fileKey), sizeof(fileKey)) &&
+            fileKey == key) {
+            auto sim = buildColumnCellSim(cell);
+            std::string err;
+            if (sim->restoreCheckpoint(is, &err)) {
+                sim->run(cell.phases.total() - cell.phases.warmup);
+                if (restored != nullptr)
+                    *restored = true;
+                return collectColumnCellMetrics(cell, *sim);
+            }
+        }
+    }
+
+    // Cold path: run the warmup, drop the sidecar, finish the cell.
+    auto sim = buildColumnCellSim(cell);
+    sim->run(cell.phases.warmup);
+    {
+        std::ofstream os(ckptFile, std::ios::binary | std::ios::trunc);
+        if (os) {
+            os.write(kSidecarMagic, sizeof(kSidecarMagic));
+            os.write(reinterpret_cast<const char *>(&key), sizeof(key));
+            sim->saveCheckpoint(os);
+        }
+    }
+    sim->run(cell.phases.total() - cell.phases.warmup);
+    return collectColumnCellMetrics(cell, *sim);
+}
+
 SweepResult
-SweepRunner::run(const SweepSpec &spec) const
+SweepRunner::run(const SweepSpec &spec, CellCache *cache) const
 {
     const auto t0 = std::chrono::steady_clock::now();
 
@@ -604,34 +723,78 @@ SweepRunner::run(const SweepSpec &spec) const
     const std::vector<CellSpec> cells = result.spec.expand();
     result.cells.resize(cells.size());
 
+    // Cache probe: hits land directly in their expansion slot; only the
+    // misses are executed (and stored back afterwards).
+    std::vector<std::size_t> todo;
+    todo.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (cache != nullptr && cache->load(cells[i], result.cells[i]))
+            ++result.cacheHits;
+        else
+            todo.push_back(i);
+    }
+    result.cacheMisses = todo.size();
+
+    // Work units: replicate groups that share a warm checkpoint, every
+    // other cell a singleton. Grouping is deterministic
+    // (first-appearance order over the expansion order).
+    std::vector<std::vector<std::size_t>> units;
+    {
+        std::unordered_map<std::uint64_t, std::size_t> groupOf;
+        for (std::size_t i : todo) {
+            if (!warmShareable(cells[i])) {
+                units.push_back({i});
+                continue;
+            }
+            const auto [it, fresh] =
+                groupOf.try_emplace(warmGroupKey(cells[i]), units.size());
+            if (fresh)
+                units.push_back({i});
+            else
+                units[it->second].push_back(i);
+        }
+    }
+
+    const auto runUnit = [&cells, &result](const std::vector<std::size_t> &u) {
+        if (u.size() == 1)
+            result.cells[u[0]] = runCell(cells[u[0]]);
+        else
+            runColumnGroup(cells, u, result.cells);
+    };
+
     // Cell workers x intra-run shards must fit the machine (see the
     // class comment for the precedence rules).
     const int workers =
-        sweepWorkerBudget(threads_, cells.size(), result.spec.shards,
+        sweepWorkerBudget(threads_, units.size(), result.spec.shards,
                           std::thread::hardware_concurrency());
     if (workers <= 1) {
-        for (std::size_t i = 0; i < cells.size(); ++i)
-            result.cells[i] = runCell(cells[i]);
+        for (const auto &u : units)
+            runUnit(u);
     } else {
-        // Work-stealing by atomic index: cells land in their expansion
-        // slot regardless of which worker ran them, so the result is
+        // Work-stealing by atomic index: units land in their expansion
+        // slots regardless of which worker ran them, so the result is
         // independent of scheduling.
         std::atomic<std::size_t> next{0};
         std::vector<std::thread> pool;
         pool.reserve(static_cast<std::size_t>(workers));
         for (int t = 0; t < workers; ++t) {
-            pool.emplace_back([&cells, &next, &result] {
+            pool.emplace_back([&units, &next, &runUnit] {
                 while (true) {
                     const std::size_t i =
                         next.fetch_add(1, std::memory_order_relaxed);
-                    if (i >= cells.size())
+                    if (i >= units.size())
                         return;
-                    result.cells[i] = runCell(cells[i]);
+                    runUnit(units[i]);
                 }
             });
         }
         for (auto &th : pool)
             th.join();
+    }
+
+    if (cache != nullptr) {
+        for (std::size_t i : todo)
+            cache->store(cells[i], result.cells[i]);
     }
 
     result.aggregates = aggregateCells(result.spec, result.cells);

@@ -30,6 +30,8 @@
 
 namespace taqos {
 
+class CellCache;
+
 /// What a cell simulates.
 enum class Scenario {
     LatencyLoad,       ///< Fig. 4 family: one column, pattern x rate
@@ -148,6 +150,10 @@ struct SweepResult {
     std::vector<AggregateCell> aggregates;
     double wallMs = 0.0; ///< not serialized (kept out of the JSON so
                          ///< parallel and serial runs emit identical bytes)
+    /// Cache accounting for the run (zero when no cache was passed);
+    /// not serialized for the same byte-identity reason as wallMs.
+    std::size_t cacheHits = 0;
+    std::size_t cacheMisses = 0;
 
     /// Serialize spec + cells + aggregates (schema taqos-sweep/v1; see
     /// README "The exp/ layer"). Deterministic: depends only on the
@@ -169,11 +175,30 @@ class SweepRunner {
     /// `numThreads` <= 0 selects std::thread::hardware_concurrency().
     explicit SweepRunner(int numThreads = 0);
 
-    SweepResult run(const SweepSpec &spec) const;
+    /// Run the spec's cells. With a cache (exp/cell_cache.h), cells
+    /// whose content key is already stored are loaded instead of run
+    /// and fresh cells are stored back, with the merged output
+    /// byte-identical to a cold run. Replicate groups that share their
+    /// traffic seed (mixSeeds = false) warm up once and fork the
+    /// remaining replicates from a checkpoint of that warm state.
+    SweepResult run(const SweepSpec &spec, CellCache *cache = nullptr) const;
 
     /// Execute one cell (pure: owns every sim it constructs; no shared
     /// mutable state). Exposed for tests and custom drivers.
     static CellResult runCell(const CellSpec &cell);
+
+    /// Execute one cell warm-starting from a checkpoint sidecar file.
+    /// The sidecar is an 8-byte magic ("TQSWCKPT") plus the cell's
+    /// content key, then a NetSim checkpoint of the warmed sim. When
+    /// the file exists and its key matches, the warmup is skipped by
+    /// restoring it (bit-identical continuation); otherwise the cell
+    /// runs cold and writes the sidecar at the warmup boundary.
+    /// `restored`, when non-null, reports which path was taken. Cells
+    /// that cannot share warm state (adversarial/chip scenarios, zero
+    /// warmup) always run cold and write no sidecar.
+    static CellResult runCellCheckpointed(const CellSpec &cell,
+                                          const std::string &ckptFile,
+                                          bool *restored = nullptr);
 
     int threads() const { return threads_; }
 

@@ -94,6 +94,32 @@ PacketPool::alloc()
 }
 
 void
+PacketPool::restoreShape(std::size_t count)
+{
+    TAQOS_ASSERT(all_.empty() && live_ == 0,
+                 "restoreShape on a non-fresh pool");
+    all_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        all_.push_back(std::make_unique<NetPacket>());
+    live_ = count;
+}
+
+void
+PacketPool::restoreFreeList(const std::vector<std::size_t> &freeIdx,
+                            PacketId nextId)
+{
+    free_.clear();
+    free_.reserve(freeIdx.size());
+    for (const std::size_t i : freeIdx) {
+        TAQOS_ASSERT(i < all_.size(), "free-list index out of range");
+        free_.push_back(all_[i].get());
+    }
+    TAQOS_ASSERT(live_ >= free_.size(), "free list larger than pool");
+    live_ = all_.size() - free_.size();
+    nextId_ = nextId;
+}
+
+void
 PacketPool::release(NetPacket *pkt)
 {
     TAQOS_ASSERT(pkt->state == PacketState::Delivered ||

@@ -131,6 +131,26 @@ class PacketPool {
     std::size_t liveCount() const { return live_; }
     std::size_t allocatedCount() const { return all_.size(); }
 
+    /// Checkpoint access: the i-th packet ever allocated. Pool indices
+    /// are the canonical packet encoding in a snapshot — stable across
+    /// the save/restore boundary because alloc order is deterministic.
+    NetPacket *at(std::size_t i) { return all_[i].get(); }
+    const NetPacket *at(std::size_t i) const { return all_[i].get(); }
+
+    const std::vector<NetPacket *> &freeList() const { return free_; }
+
+    PacketId nextId() const { return nextId_; }
+
+    /// Restore: size the pool to `count` default-constructed packets
+    /// (the caller then overwrites each record and rebuilds the free
+    /// list). Only valid on a fresh pool.
+    void restoreShape(std::size_t count);
+
+    /// Restore the free list as pool indices in LIFO order (back = next
+    /// to be handed out), plus the id counter.
+    void restoreFreeList(const std::vector<std::size_t> &freeIdx,
+                         PacketId nextId);
+
   private:
     std::vector<std::unique_ptr<NetPacket>> all_;
     std::vector<NetPacket *> free_;

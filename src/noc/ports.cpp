@@ -48,6 +48,22 @@ InputPort::attachVcs()
 }
 
 void
+InputPort::recountHot()
+{
+    int occupied = 0;
+    for (const auto &vc : vcs) {
+        if (vc.state() != VirtualChannel::State::Free)
+            ++occupied;
+    }
+    int queued = 0;
+    for (const InjectorQueue *inj : injectors)
+        queued += static_cast<int>(inj->queue().size());
+    hot_->occupied = occupied;
+    hot_->queuedPkts = queued;
+    hot_->mutEpoch = 0;
+}
+
+void
 InputPort::onVcReserved(VirtualChannel &vc)
 {
     ++hot_->occupied;

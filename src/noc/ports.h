@@ -86,6 +86,16 @@ struct InjectorQueue {
     /// injectable, so the owning router must re-arbitrate.
     void noteWindowChange();
 
+    /// Restore: overwrite the queue contents without firing the port
+    /// hooks (the restoring router recomputes queued-packet counts and
+    /// re-adds the head slot afterwards). headOut stays -1.
+    void restoreRaw(std::deque<NetPacket *> q, int outstandingCount)
+    {
+        q_ = std::move(q);
+        outstanding = outstandingCount;
+        headOut = -1;
+    }
+
   private:
     std::deque<NetPacket *> q_;
 };
@@ -99,6 +109,10 @@ class XbarGroup {
     {
         busyUntil_ = now + static_cast<Cycle>(sizeFlits);
     }
+
+    /// Checkpoint access: a group busy into the future is live state.
+    Cycle busyUntil() const { return busyUntil_; }
+    void restoreBusyUntil(Cycle c) { busyUntil_ = c; }
 
   private:
     Cycle busyUntil_ = 0;
@@ -186,6 +200,12 @@ class InputPort {
     /// Point every VC of this port back at it (idempotent; called from
     /// Network::finalizeRouters; unbounded-VC growth self-attaches).
     void attachVcs();
+
+    /// Recompute the hot counters from the VC and injector state
+    /// (checkpoint restore rebuilds them after the raw overwrites that
+    /// bypass the incremental hooks). mutEpoch restarts at zero: it only
+    /// keys pure preemption-search memos, which restore also clears.
+    void recountHot();
 
     /// Global enumeration base of this port's slots within its router's
     /// input-major candidate order (the round-robin key of VC/injector
@@ -279,6 +299,16 @@ class OutputPort {
     /// departed / packet size, in mesh-equivalent hops). The channel stays
     /// busy through its committed window.
     double cancelTransfer(Cycle now);
+
+    /// Checkpoint access: channel-hold horizon plus the verbatim
+    /// in-progress transfer. Restore bypasses the owner hooks — the
+    /// restoring router recounts active transfers itself.
+    Cycle nextStart() const { return nextStart_; }
+    void restoreRaw(Cycle nextStart, const Transfer &xfer)
+    {
+        nextStart_ = nextStart;
+        xfer_ = xfer;
+    }
 
   private:
     Cycle nextStart_ = 0;

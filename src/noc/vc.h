@@ -62,6 +62,24 @@ class VirtualChannel {
     void setPort(InputPort *port) { port_ = port; }
     InputPort *port() const { return port_; }
 
+    /// Restore: overwrite the full VC state without firing the port
+    /// hooks (the restoring router recomputes occupancy counts and
+    /// re-adds arbitration slots afterwards, so the usual notify-on-
+    /// transition path must stay silent). freeVisibleAt matters even
+    /// for Free VCs — an in-flight credit is part of the state.
+    void restoreRaw(State state, NetPacket *pkt, Cycle headArrival,
+                    Cycle tailArrival, Cycle freeVisibleAt)
+    {
+        state_ = state;
+        pkt_ = pkt;
+        arbOutput_ = -1;
+        headArrival_ = headArrival;
+        tailArrival_ = tailArrival;
+        freeVisibleAt_ = freeVisibleAt;
+    }
+
+    Cycle freeVisibleAt() const { return freeVisibleAt_; }
+
     /// Output whose candidate list holds this VC's arbitration slot
     /// (-1 = none: Free, Draining, or owned by a slot-less port). Managed
     /// by the owning Router.

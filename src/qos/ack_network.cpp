@@ -1,5 +1,8 @@
 #include "qos/ack_network.h"
 
+#include <algorithm>
+#include <functional>
+
 namespace taqos {
 
 void
@@ -9,16 +12,18 @@ AckNetwork::send(Cycle now, int distanceHops, NetPacket *pkt, bool isNack)
     ev.deliverAt = now + static_cast<Cycle>(distanceHops + kBaseDelay);
     ev.pkt = pkt;
     ev.isNack = isNack;
-    events_.push(ev);
+    events_.push_back(ev);
+    std::push_heap(events_.begin(), events_.end(), std::greater<>{});
 }
 
 bool
 AckNetwork::popDue(Cycle now, AckEvent &event)
 {
-    if (events_.empty() || events_.top().deliverAt > now)
+    if (events_.empty() || events_.front().deliverAt > now)
         return false;
-    event = events_.top();
-    events_.pop();
+    event = events_.front();
+    std::pop_heap(events_.begin(), events_.end(), std::greater<>{});
+    events_.pop_back();
     return true;
 }
 

@@ -5,7 +5,6 @@
 /// distance-proportional delay pipe.
 #pragma once
 
-#include <queue>
 #include <vector>
 
 #include "common/types.h"
@@ -35,9 +34,24 @@ class AckNetwork {
 
     std::size_t pending() const { return events_.size(); }
 
+    /// The raw heap array in heap-internal order, for checkpointing.
+    /// Pop order between equal-deliverAt events depends on the heap's
+    /// internal layout, so a bit-identical restore must carry the array
+    /// verbatim — not a sorted or re-pushed copy.
+    const std::vector<AckEvent> &rawEvents() const { return events_; }
+
+    /// Overwrite the heap with an array captured by rawEvents() (the
+    /// caller has already re-mapped the packet pointers).
+    void restoreRaw(std::vector<AckEvent> events)
+    {
+        events_ = std::move(events);
+    }
+
   private:
-    std::priority_queue<AckEvent, std::vector<AckEvent>, std::greater<>>
-        events_;
+    /// Manual binary heap (push_heap/pop_heap, min on deliverAt). A
+    /// std::priority_queue would behave identically but hides the
+    /// container, and checkpointing needs the verbatim array.
+    std::vector<AckEvent> events_;
 };
 
 } // namespace taqos

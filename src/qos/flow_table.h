@@ -59,6 +59,16 @@ class FlowTable {
         return counts_[index(out, flow)];
     }
 
+    /// Checkpoint access: the flat counter array (configuration —
+    /// params, owner, geometry — is rebuilt by the restoring sim).
+    const std::vector<std::uint64_t> &counts() const { return counts_; }
+    void restoreCounts(const std::vector<std::uint64_t> &counts)
+    {
+        TAQOS_ASSERT(counts.size() == counts_.size(),
+                     "flow-table restore geometry mismatch");
+        counts_ = counts;
+    }
+
   private:
     std::size_t index(int out, FlowId flow) const
     {

@@ -108,6 +108,19 @@ class NoQosPolicy final : public QosPolicy {
         rrPtr_[static_cast<std::size_t>(outPort)] = winner.rrKey + 1;
     }
 
+    std::vector<std::uint64_t> packState() const override
+    {
+        return {rrPtr_.begin(), rrPtr_.end()};
+    }
+
+    void unpackState(const std::vector<std::uint64_t> &words) override
+    {
+        TAQOS_ASSERT(words.size() == rrPtr_.size(),
+                     "rotating-arbiter restore geometry mismatch");
+        for (std::size_t i = 0; i < words.size(); ++i)
+            rrPtr_[i] = static_cast<std::uint32_t>(words[i]);
+    }
+
   private:
     /// Modulus for the rotating arbiter's cyclic ranking.
     static constexpr std::uint32_t kRrModulus = 4096;
@@ -271,6 +284,38 @@ class GsfGate final : public SourceGate {
     /// head frame advances (budgets reset); charging within a window only
     /// ever consumes budget.
     std::uint64_t epoch() const override { return head_; }
+
+    std::vector<std::uint64_t> packState() const override
+    {
+        std::vector<std::uint64_t> w;
+        w.push_back(static_cast<std::uint64_t>(headSlot_));
+        w.push_back(head_);
+        w.push_back(headStart_);
+        for (const Window &win : windows_) {
+            w.push_back(win.outstanding);
+            w.push_back(win.stamped);
+            w.insert(w.end(), win.injected.begin(), win.injected.end());
+        }
+        return w;
+    }
+
+    void unpackState(const std::vector<std::uint64_t> &words) override
+    {
+        const std::size_t perWin =
+            2 + static_cast<std::size_t>(params_->numFlows);
+        TAQOS_ASSERT(words.size() == 3 + windows_.size() * perWin,
+                     "GSF gate restore geometry mismatch");
+        std::size_t i = 0;
+        headSlot_ = static_cast<std::size_t>(words[i++]);
+        head_ = words[i++];
+        headStart_ = words[i++];
+        for (Window &win : windows_) {
+            win.outstanding = words[i++];
+            win.stamped = words[i++];
+            for (auto &flits : win.injected)
+                flits = words[i++];
+        }
+    }
 
   private:
     struct Window {

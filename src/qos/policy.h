@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/types.h"
 #include "qos/flow_table.h"
@@ -90,6 +91,16 @@ class QosPolicy {
     /// Frame boundary: flush per-router policy state (the Router flushes
     /// the flow table itself; this hook covers policy-private state).
     virtual void rollover() {}
+
+    /// Checkpointing: the policy's mutable per-router state as an opaque
+    /// word vector (empty = stateless). A policy that adds mutable state
+    /// MUST override both or restored runs diverge. unpackState runs on
+    /// a freshly init()-ed instance of the same mode and geometry.
+    virtual std::vector<std::uint64_t> packState() const { return {}; }
+    virtual void unpackState(const std::vector<std::uint64_t> &words)
+    {
+        (void)words;
+    }
 
     // --- arbitration ---
 
@@ -169,6 +180,14 @@ class SourceGate {
     /// admit() are re-examined exactly when the always-tick engine would
     /// re-admit them.
     virtual std::uint64_t epoch() const { return 0; }
+
+    /// Checkpointing: the gate's full mutable state as an opaque word
+    /// vector (same contract as QosPolicy::packState).
+    virtual std::vector<std::uint64_t> packState() const { return {}; }
+    virtual void unpackState(const std::vector<std::uint64_t> &words)
+    {
+        (void)words;
+    }
 };
 
 std::unique_ptr<SourceGate> makeSourceGate(QosMode mode,

@@ -139,6 +139,15 @@ class QuotaTracker {
 
     std::uint64_t injectedThisFrame(FlowId flow) const;
 
+    /// Checkpoint access: the per-flow intra-frame injection counters.
+    const std::vector<std::uint64_t> &injected() const { return injected_; }
+    void restoreInjected(const std::vector<std::uint64_t> &injected)
+    {
+        TAQOS_ASSERT(injected.size() == injected_.size(),
+                     "quota restore geometry mismatch");
+        injected_ = injected;
+    }
+
   private:
     const PvcParams *params_;
     std::vector<std::uint64_t> injected_;

@@ -883,6 +883,63 @@ Router::tick(TickContext &ctx)
 }
 
 void
+Router::rebuildFromRestore()
+{
+    for (const auto &in : inputs_)
+        in->recountHot();
+    hot_->occupiedVcs = 0;
+    hot_->queuedPkts = 0;
+    hot_->activeXfers = 0;
+    hot_->nextCompletion = kNoCycle;
+    for (const auto &in : inputs_) {
+        hot_->occupiedVcs += in->occupied();
+        hot_->queuedPkts += in->queuedPackets();
+    }
+    for (const auto &out : outputs_) {
+        const OutputPort::Transfer &xfer = out->transfer();
+        if (xfer.active) {
+            ++hot_->activeXfers;
+            if (xfer.tailDepart < hot_->nextCompletion)
+                hot_->nextCompletion = xfer.tailDepart;
+        }
+    }
+
+    // Rebuild the per-output slot lists from scratch: exactly the slots
+    // the incremental hooks would be maintaining — every Reserved VC
+    // (Draining VCs surrendered theirs on drain start) and every
+    // non-empty injector queue's head.
+    for (auto &list : slots_)
+        list.clear();
+    for (const auto &in : inputs_) {
+        for (std::size_t v = 0; v < in->vcs.size(); ++v) {
+            VirtualChannel &vc = in->vcs[v];
+            vc.setArbOutput(-1);
+            if (vc.state() == VirtualChannel::State::Reserved)
+                addVcSlot(in.get(), static_cast<int>(v));
+        }
+        for (InjectorQueue *inj : in->injectors) {
+            inj->headOut = -1;
+            if (!inj->queue().empty())
+                updateInjectorSlot(*inj);
+        }
+    }
+
+    // Drop every cached arbitration result. The first tick rescans all
+    // outputs — the same full invalidation a frame flush performs, which
+    // the always-tick cross-check proves bit-identical.
+    for (auto &b : best_)
+        b = Candidate{};
+    std::fill(outDirty_.begin(), outDirty_.end(), 1);
+    std::fill(outWake_.begin(), outWake_.end(), 0);
+    preemptMemo_.assign(outputs_.size(), {});
+    anyOutDirty_ = true;
+    minWake_ = 0;
+    winners_ = 0;
+    mutEpoch_ = 0;
+    inWorklist_ = false; // the engine repopulates its pending lists
+}
+
+void
 Router::frameFlush()
 {
     if (flowTable_.enabled())

@@ -110,6 +110,15 @@ class Router {
     }
     OutputPort *output(int idx) { return outputs_[static_cast<std::size_t>(idx)].get(); }
     const FlowTable &flowTable() const { return flowTable_; }
+    /// Mutable access for checkpoint restore (counter overwrite).
+    FlowTable &flowTable() { return flowTable_; }
+    const std::vector<std::unique_ptr<XbarGroup>> &groups() const
+    {
+        return groups_;
+    }
+    std::vector<std::unique_ptr<XbarGroup>> &groups() { return groups_; }
+    /// Mutable policy access for checkpoint pack/unpack.
+    QosPolicy &policyState() { return *policy_; }
 
     /// Routing decision for a packet sitting at this router.
     RouteEntry routeFor(const NetPacket &pkt) const;
@@ -193,6 +202,16 @@ class Router {
     /// Policy state changed behind every output's back (frame flush, GSF
     /// window advance): invalidate all cached winner sets.
     void markArbDirty();
+
+    /// Checkpoint restore: the raw overwrites (VC states, injector
+    /// queues, transfers) bypassed every incremental hook, so recompute
+    /// all derived activity state from the restored structural state —
+    /// hot counters, arbitration slot lists, cached winners, dirty
+    /// flags, wakes, preemption memos. Leaves every output dirty with
+    /// wake 0 and the router off the worklist (the engine re-arms it);
+    /// the first tick then does the same full rescan a frame-boundary
+    /// invalidation would, which is proven bit-identical.
+    void rebuildFromRestore();
 
     // Hooks from the port layer (see ports.h). Work-creating events arm
     // the router onto the worklist; work-neutral events only dirty the

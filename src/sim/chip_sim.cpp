@@ -2,6 +2,7 @@
 
 #include "common/assert.h"
 #include "noc/trace_sink.h"
+#include "sim/checkpoint.h"
 
 namespace taqos {
 
@@ -54,6 +55,32 @@ ChipTrafficSource::tick(Cycle now, PacketPool &pool,
             origin.enqueue(pkt);
         }
     }
+}
+
+std::vector<std::uint64_t>
+ChipTrafficSource::packState() const
+{
+    const std::vector<std::uint64_t> g = gen_.packState();
+    std::vector<std::uint64_t> w;
+    w.reserve(g.size() + 2);
+    w.push_back(g.size());
+    w.insert(w.end(), g.begin(), g.end());
+    w.push_back(suppressed_);
+    return w;
+}
+
+void
+ChipTrafficSource::unpackState(const std::vector<std::uint64_t> &words)
+{
+    TAQOS_ASSERT(!words.empty(), "chip traffic-source state empty");
+    const std::size_t genLen = static_cast<std::size_t>(words[0]);
+    TAQOS_ASSERT(words.size() == genLen + 2,
+                 "chip traffic-source state size mismatch");
+    gen_.unpackState(
+        std::vector<std::uint64_t>(words.begin() + 1,
+                                   words.begin() + 1 +
+                                       static_cast<std::ptrdiff_t>(genLen)));
+    suppressed_ = words.back();
 }
 
 ChipSim::ChipSim(const ChipNetConfig &cfg, const TrafficConfig &traffic)
@@ -117,6 +144,20 @@ ChipSim::handoff(NetPacket *pkt, InputPort *port, int vcIdx)
     pkt->dst = pkt->finalDst;
     net().injector(pkt->flow).enqueue(pkt);
     ++handoffs_;
+}
+
+void
+ChipSim::saveExtra(CheckpointWriter &w) const
+{
+    w.u64(handoffs_);
+    saveInjectorQueues(w, const_cast<ChipSim *>(this)->network().rowQueues());
+}
+
+void
+ChipSim::restoreExtra(CheckpointReader &r)
+{
+    handoffs_ = r.u64();
+    restoreInjectorQueues(r, network().rowQueues());
 }
 
 void

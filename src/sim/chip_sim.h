@@ -46,6 +46,12 @@ class ChipTrafficSource : public TrafficSource {
         return suppressed_ + gen_.suppressed();
     }
 
+    /// Checkpointing: the inner generator's state (length-prefixed) plus
+    /// the dispatch-side suppression counter. The scratch queues drain
+    /// within each tick, so they carry no cross-cycle state.
+    std::vector<std::uint64_t> packState() const override;
+    void unpackState(const std::vector<std::uint64_t> &words) override;
+
   private:
     ChipNetwork &net_;
     TrafficConfig traffic_;
@@ -77,6 +83,11 @@ class ChipSim : public NetSim {
 
   protected:
     void tickTerminals() override;
+    /// Checkpoint "extra" section: the handoff counter and the
+    /// compute-node source queues (the handoff buffers themselves are
+    /// aux ports, covered by the base format).
+    void saveExtra(CheckpointWriter &w) const override;
+    void restoreExtra(CheckpointReader &r) override;
 
   private:
     void handoff(NetPacket *pkt, InputPort *port, int vcIdx);

@@ -2,6 +2,7 @@
 
 #include "common/assert.h"
 #include "noc/trace_sink.h"
+#include "sim/checkpoint.h"
 
 namespace taqos {
 
@@ -114,6 +115,43 @@ FabricTrafficSource::tick(Cycle now, PacketPool &pool,
             }
         }
     }
+}
+
+std::vector<std::uint64_t>
+FabricTrafficSource::packState() const
+{
+    std::vector<std::uint64_t> w;
+    w.push_back(gens_.size());
+    for (const auto &gen : gens_) {
+        const std::vector<std::uint64_t> g = gen->packState();
+        w.push_back(g.size());
+        w.insert(w.end(), g.begin(), g.end());
+    }
+    w.push_back(suppressed_);
+    return w;
+}
+
+void
+FabricTrafficSource::unpackState(const std::vector<std::uint64_t> &words)
+{
+    TAQOS_ASSERT(!words.empty(), "fabric traffic-source state empty");
+    TAQOS_ASSERT(words[0] == gens_.size(),
+                 "fabric traffic-source generator count mismatch");
+    std::size_t pos = 1;
+    for (const auto &gen : gens_) {
+        TAQOS_ASSERT(pos < words.size(),
+                     "fabric traffic-source state truncated");
+        const std::size_t len = static_cast<std::size_t>(words[pos++]);
+        TAQOS_ASSERT(pos + len < words.size() + 1,
+                     "fabric traffic-source state truncated");
+        gen->unpackState(std::vector<std::uint64_t>(
+            words.begin() + static_cast<std::ptrdiff_t>(pos),
+            words.begin() + static_cast<std::ptrdiff_t>(pos + len)));
+        pos += len;
+    }
+    TAQOS_ASSERT(pos + 1 == words.size(),
+                 "fabric traffic-source state size mismatch");
+    suppressed_ = words[pos];
 }
 
 FabricSim::FabricSim(const FabricSpec &spec, const TrafficConfig &traffic)
@@ -253,6 +291,48 @@ FabricSim::handoff(NetPacket *pkt, InputPort *port, int vcIdx)
                  "cross-block handoff within one chip (flow %d)",
                  pkt->flow);
     sendOnLink(pkt, here, want);
+}
+
+void
+FabricSim::saveExtra(CheckpointWriter &w) const
+{
+    w.u64(handoffs_);
+    w.u64(linkHops_);
+    saveInjectorQueues(w,
+                       const_cast<FabricSim *>(this)->network().rowQueues());
+    w.u32(static_cast<std::uint32_t>(links_.size()));
+    for (const ChipLink &link : links_) {
+        w.u64(link.nextFree);
+        w.u32(static_cast<std::uint32_t>(link.inFlight.size()));
+        for (const auto &[pkt, due] : link.inFlight) {
+            w.pkt(pkt);
+            w.u64(due);
+        }
+    }
+}
+
+void
+FabricSim::restoreExtra(CheckpointReader &r)
+{
+    handoffs_ = r.u64();
+    linkHops_ = r.u64();
+    restoreInjectorQueues(r, network().rowQueues());
+    if (r.u32() != links_.size())
+        r.fail("inter-chip link count mismatch");
+    for (ChipLink &link : links_) {
+        link.nextFree = r.u64();
+        const std::uint32_t len = r.u32();
+        if (len > (1u << 24))
+            r.fail("implausible link FIFO length");
+        link.inFlight.clear();
+        for (std::uint32_t i = 0; i < len; ++i) {
+            NetPacket *pkt = r.pkt();
+            const Cycle due = r.u64();
+            if (pkt == nullptr)
+                r.fail("null packet on an inter-chip link");
+            link.inFlight.emplace_back(pkt, due);
+        }
+    }
 }
 
 void

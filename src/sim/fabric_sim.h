@@ -53,6 +53,12 @@ class FabricTrafficSource : public TrafficSource {
     /// Packets whose generation was skipped due to a full origin queue.
     std::uint64_t suppressed() const;
 
+    /// Checkpointing: each block generator's state (length-prefixed per
+    /// block) plus the dispatch-side suppression counter. The scratch
+    /// queues drain within each tick, so they carry no cross-cycle state.
+    std::vector<std::uint64_t> packState() const override;
+    void unpackState(const std::vector<std::uint64_t> &words) override;
+
   private:
     FabricNetwork &net_;
     TrafficConfig traffic_;
@@ -85,6 +91,11 @@ class FabricSim : public NetSim {
 
   protected:
     void tickTerminals() override;
+    /// Checkpoint "extra" section: the handoff/link counters, the
+    /// compute-node source queues, and every inter-chip link's occupancy
+    /// horizon and in-flight FIFO.
+    void saveExtra(CheckpointWriter &w) const override;
+    void restoreExtra(CheckpointReader &r) override;
 
   private:
     /// One inter-chip channel: a FIFO delay line with serialization

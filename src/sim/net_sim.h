@@ -48,7 +48,9 @@
 /// recorded flit stream is byte-identical to the serial engines'.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "noc/metrics.h"
@@ -63,6 +65,8 @@
 namespace taqos {
 
 class ShardPool;
+class CheckpointWriter;
+class CheckpointReader;
 
 class NetSim {
   public:
@@ -139,6 +143,21 @@ class NetSim {
     const Network &net() const { return *net_; }
     PacketPool &pool() { return pool_; }
 
+    /// Serialize the complete live state at the current cycle boundary
+    /// (see sim/checkpoint.h for the format and the engine-neutrality
+    /// contract). Call between steps, never mid-cycle.
+    void saveCheckpoint(std::ostream &os) const;
+
+    /// Restore a snapshot onto this simulation, which must be freshly
+    /// built from the identical spec (same topology, policy, traffic
+    /// configuration and trace attachment) and never stepped. Returns
+    /// false — with a section- and offset-diagnosed message in `err` —
+    /// on a version/salt/fingerprint mismatch or a truncated/corrupted
+    /// stream; header mismatches leave the sim untouched, but a failure
+    /// past the header leaves it partially overwritten and unusable.
+    /// After success the run continues bit-identically to the original.
+    bool restoreCheckpoint(std::istream &is, std::string *err = nullptr);
+
     /// Structural self-check: every occupied VC's packet holds a matching
     /// location record, occupancy chains are acyclic, and window counters
     /// are within bounds. Used by tests after every scenario.
@@ -147,6 +166,13 @@ class NetSim {
   protected:
     /// Install the per-cycle traffic source (call before the first step).
     void setTrafficSource(std::unique_ptr<TrafficSource> source);
+
+    /// Subclass state riding in the checkpoint's "extra" section (chip
+    /// handoff buffers, fabric link queues). Overrides must write and
+    /// read exactly matching records; restoreExtra reports corruption by
+    /// calling CheckpointReader::fail.
+    virtual void saveExtra(CheckpointWriter &w) const;
+    virtual void restoreExtra(CheckpointReader &r);
 
     void processFrameBoundary();
     void processAcks();

@@ -105,4 +105,30 @@ TrafficGenerator::tick(Cycle now, PacketPool &pool,
     }
 }
 
+std::vector<std::uint64_t>
+TrafficGenerator::packState() const
+{
+    std::vector<std::uint64_t> w;
+    w.reserve(rng_.size() * 4 + 1);
+    for (const Rng &rng : rng_) {
+        const auto s = rng.state();
+        w.insert(w.end(), s.begin(), s.end());
+    }
+    w.push_back(suppressed_);
+    return w;
+}
+
+void
+TrafficGenerator::unpackState(const std::vector<std::uint64_t> &words)
+{
+    TAQOS_ASSERT(words.size() == rng_.size() * 4 + 1,
+                 "traffic-generator restore geometry mismatch");
+    std::size_t i = 0;
+    for (Rng &rng : rng_) {
+        rng.setState({words[i], words[i + 1], words[i + 2], words[i + 3]});
+        i += 4;
+    }
+    suppressed_ = words[i];
+}
+
 } // namespace taqos

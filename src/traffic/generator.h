@@ -32,6 +32,11 @@ class TrafficGenerator : public TrafficSource {
     /// Destination for one packet of `flow` (exposed for tests).
     NodeId pickDest(FlowId flow);
 
+    /// Checkpointing: the per-flow RNG streams plus the suppression
+    /// counter (the rest of the generator is configuration).
+    std::vector<std::uint64_t> packState() const override;
+    void unpackState(const std::vector<std::uint64_t> &words) override;
+
   private:
     ColumnConfig col_;
     TrafficConfig traffic_;

@@ -6,6 +6,7 @@
 /// (compute-node injection on the whole-chip fabric).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/types.h"
@@ -24,6 +25,17 @@ class TrafficSource {
     virtual void tick(Cycle now, PacketPool &pool,
                       std::vector<InjectorQueue> &injectors,
                       SimMetrics &metrics) = 0;
+
+    /// Checkpointing: the source's mutable state (RNG streams, replay
+    /// cursors, suppression counters) as an opaque word vector. A
+    /// stateful source MUST override both or restored runs diverge;
+    /// unpackState runs on a freshly built source of the same
+    /// configuration.
+    virtual std::vector<std::uint64_t> packState() const { return {}; }
+    virtual void unpackState(const std::vector<std::uint64_t> &words)
+    {
+        (void)words;
+    }
 };
 
 } // namespace taqos

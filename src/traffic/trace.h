@@ -65,6 +65,17 @@ class TraceReplayer : public TrafficSource {
 
     bool exhausted() const { return next_ >= trace_.size(); }
 
+    /// Checkpointing: the replay cursor is the only mutable state.
+    std::vector<std::uint64_t> packState() const override
+    {
+        return {static_cast<std::uint64_t>(next_)};
+    }
+    void unpackState(const std::vector<std::uint64_t> &words) override
+    {
+        TAQOS_ASSERT(words.size() == 1, "trace-replayer restore mismatch");
+        next_ = static_cast<std::size_t>(words[0]);
+    }
+
   private:
     ColumnConfig col_;
     TrafficTrace trace_;

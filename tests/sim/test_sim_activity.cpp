@@ -58,7 +58,7 @@ TEST_P(ToggleEquivalence, EnginesAreBitIdenticalOnARandomWorkload)
         traffic.pattern = TrafficPattern::UniformRandom;
         traffic.injectionRate = 0.08;
         ColumnSim sim(col, traffic);
-        sim.setActivityDriven(activity == 1);
+        sim.configure({.activityDriven = activity == 1});
         sim.setMeasureWindow(phases.warmup, phases.measureEnd());
         sim.run(phases.total());
         sim.checkInvariants();
@@ -103,7 +103,7 @@ TEST(ToggleEquivalence, PreemptionHeavyWorkloadMatches)
         TrafficConfig t = makeWorkload1(col);
         t.genUntil = 20000;
         ColumnSim sim(col, t);
-        sim.setActivityDriven(activity == 1);
+        sim.configure({.activityDriven = activity == 1});
         sim.setMeasureWindow(0, 20000);
         done[activity] = sim.runUntilDrained(200000, 20000);
         ASSERT_NE(done[activity], kNoCycle);
@@ -128,7 +128,7 @@ TEST(ToggleEquivalence, WholeChipSimulationMatches)
         t.injectionRate = 0.05;
         t.genUntil = 5000;
         ChipSim sim(cc, t);
-        sim.setActivityDriven(activity == 1);
+        sim.configure({.activityDriven = activity == 1});
         sim.setMeasureWindow(0, 5000);
         const Cycle done = sim.runUntilDrained(120000, 5000);
         ASSERT_NE(done, kNoCycle);
@@ -178,7 +178,7 @@ TEST(GsfActivity, FrameRolloverReadmitsAGatedFlowAfterAQuietPeriod)
         TrafficConfig quiet;
         quiet.injectionRate = 0.0; // no generated traffic at all
         ColumnSim sim(col, quiet);
-        sim.setActivityDriven(activity == 1);
+        sim.configure({.activityDriven = activity == 1});
         sim.setMeasureWindow(0, 100000);
 
         // Budget per flow per frame: max(1, 200/64) = 3 flits, so each

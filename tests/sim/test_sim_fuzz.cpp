@@ -58,7 +58,7 @@ TEST_P(SimFuzz, RandomKillsNeverCorruptState)
     t.injectionRate = 0.08;
     t.genUntil = 12000;
     ColumnSim sim(col, t);
-    sim.setActivityDriven(activityDriven());
+    sim.configure({.activityDriven = activityDriven()});
 
     TraceRecorder rec(describeColumn(col));
     sim.attachTraceSink(&rec);
@@ -143,7 +143,7 @@ TEST_P(SimFuzz, RandomConfigurationsRun)
         t.seed = rng.nextU64();
 
         ColumnSim sim(col, t);
-        sim.setActivityDriven(activityDriven());
+        sim.configure({.activityDriven = activityDriven()});
         TraceRecorder rec(describeColumn(sim.cfg()));
         sim.attachTraceSink(&rec);
         sim.run(6000);
@@ -168,7 +168,7 @@ TEST_P(SimFuzz, ZeroAndExtremeSizes)
         t.injectionRate = 0.05;
         t.genUntil = 4000;
         ColumnSim sim(col, t);
-        sim.setActivityDriven(activityDriven());
+        sim.configure({.activityDriven = activityDriven()});
         TraceRecorder rec(describeColumn(sim.cfg()));
         sim.attachTraceSink(&rec);
         const Cycle done = sim.runUntilDrained(60000, 4000);

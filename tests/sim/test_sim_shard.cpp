@@ -250,11 +250,13 @@ TEST_P(ShardEquivalence, ShardedEngineIsBitIdenticalToSerial)
         traffic.pattern = TrafficPattern::UniformRandom;
         traffic.injectionRate = 0.08;
         ColumnSim sim(col, traffic);
-        sim.setActivityDriven(tc.activity);
+        EngineConfig ec;
+        ec.activityDriven = tc.activity;
         if (sharded == 1) {
-            sim.setShards(4);
-            sim.setShardMinActive(0); // exercise the pool every cycle
+            ec.shards = 4;
+            ec.shardMinActive = 0; // exercise the pool every cycle
         }
+        sim.configure(ec);
         sim.setMeasureWindow(phases.warmup, phases.measureEnd());
         sim.run(phases.total());
         sim.checkInvariants();
@@ -304,10 +306,8 @@ TEST(ShardEquivalence, UnevenAndSingleNodeRegionCountsMatch)
         traffic.pattern = TrafficPattern::UniformRandom;
         traffic.injectionRate = 0.10;
         ColumnSim sim(col, traffic);
-        if (shards > 1) {
-            sim.setShards(shards);
-            sim.setShardMinActive(0);
-        }
+        if (shards > 1)
+            sim.configure({.shards = shards, .shardMinActive = 0});
         sim.setMeasureWindow(phases.warmup, phases.measureEnd());
         sim.run(phases.total());
         sim.checkInvariants();
@@ -327,10 +327,8 @@ TEST(ShardEquivalence, PreemptionHeavyWorkloadMatches)
         TrafficConfig t = makeWorkload1(col);
         t.genUntil = 20000;
         ColumnSim sim(col, t);
-        if (sharded == 1) {
-            sim.setShards(4);
-            sim.setShardMinActive(0);
-        }
+        if (sharded == 1)
+            sim.configure({.shards = 4, .shardMinActive = 0});
         sim.setMeasureWindow(0, 20000);
         done[sharded] = sim.runUntilDrained(200000, 20000);
         ASSERT_NE(done[sharded], kNoCycle);
@@ -355,10 +353,8 @@ TEST(ShardEquivalence, WholeChipSimulationMatches)
         t.injectionRate = 0.05;
         t.genUntil = 5000;
         ChipSim sim(cc, t);
-        if (sharded == 1) {
-            sim.setShards(4);
-            sim.setShardMinActive(0);
-        }
+        if (sharded == 1)
+            sim.configure({.shards = 4, .shardMinActive = 0});
         sim.setMeasureWindow(0, 5000);
         const Cycle done = sim.runUntilDrained(120000, 5000);
         ASSERT_NE(done, kNoCycle);
@@ -384,10 +380,8 @@ TEST(ShardTrace, ShardedTraceIsByteIdenticalAndAuditsClean)
         TrafficConfig t = makeWorkload1(col);
         t.genUntil = 20000;
         ColumnSim sim(col, t);
-        if (sharded == 1) {
-            sim.setShards(4);
-            sim.setShardMinActive(0);
-        }
+        if (sharded == 1)
+            sim.configure({.shards = 4, .shardMinActive = 0});
         sim.setMeasureWindow(0, 20000);
         TraceRecorder rec(describeColumn(sim.cfg()));
         rec.setMeasureWindow(0, 20000);
@@ -423,10 +417,8 @@ TEST(HotLayout, ArenaAndObjectGraphLayoutsAreBitIdentical)
         traffic.pattern = TrafficPattern::UniformRandom;
         traffic.injectionRate = 0.08;
         ColumnSim sim(col, traffic);
-        if (variant == 2) {
-            sim.setShards(4);
-            sim.setShardMinActive(0);
-        }
+        if (variant == 2)
+            sim.configure({.shards = 4, .shardMinActive = 0});
         sim.setMeasureWindow(phases.warmup, phases.measureEnd());
         sim.run(phases.total());
         sim.checkInvariants();

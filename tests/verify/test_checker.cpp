@@ -489,7 +489,7 @@ TEST_P(CheckerLive, CleanSmokeRunAuditsCleanly)
     t.genUntil = 6000;
 
     ColumnSim sim(col, t);
-    sim.setActivityDriven(GetParam());
+    sim.configure({.activityDriven = GetParam()});
     sim.setMeasureWindow(2000, 6000);
     TraceRecorder rec(describeColumn(sim.cfg()));
     rec.setMeasureWindow(2000, 6000);
