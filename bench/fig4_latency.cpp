@@ -10,7 +10,9 @@
 /// Options: fast=1 (short phases), pattern=uniform|tornado (default both),
 ///          mode=pvc|per-flow|no-qos|gsf|age|wrr (default pvc),
 ///          rates=a,b,c|lo:hi:step (overrides maxrate/step),
-///          maxrate=0.15, step=0.01, threads=N, json=<prefix>
+///          maxrate=0.15, step=0.01, threads=N, json=<prefix>,
+///          workload=SPEC | trace=FILE... | burst=on,off,gain
+///          (single dynamic-workload spec; churn has no column embedding)
 #include <cstdio>
 
 #include "bench_util.h"
@@ -26,12 +28,13 @@ namespace {
 void
 runPattern(TrafficPattern pattern, const std::vector<double> &rates,
            const RunPhases &phases, int threads, const std::string &json,
-           QosMode mode)
+           QosMode mode, const WorkloadSpec &workload)
 {
-    std::printf("--- %s traffic (%s) ---\n", patternName(pattern),
-                qosModeName(mode));
-    const SweepResult result =
-        SweepRunner(threads).run(fig4Spec(pattern, rates, phases, mode));
+    std::printf("--- %s traffic (%s, %s) ---\n", patternName(pattern),
+                qosModeName(mode), workload.name().c_str());
+    SweepSpec spec = fig4Spec(pattern, rates, phases, mode);
+    spec.workloadSpecs = {workload};
+    const SweepResult result = SweepRunner(threads).run(spec);
     const auto series = latencySeriesFromSweep(result);
     if (!json.empty()) {
         const std::string path =
@@ -108,15 +111,27 @@ main(int argc, char **argv)
     const QosMode mode = enumOption(opts, "mode", QosMode::Pvc,
                                     parseQosMode, "mode",
                                     joinNames(kAllQosModes, qosModeName));
+    const std::vector<WorkloadSpec> wspecs = workloadAxisFromOpts(opts);
+    if (wspecs.size() > 1)
+        optionError("fig4_latency takes a single workload spec");
+    WorkloadSpec workload;
+    if (!wspecs.empty()) {
+        if (wspecs[0].kind == WorkloadKind::Churn) {
+            optionError("tenant churn needs the chip_consolidation "
+                        "scenario, not latency_load");
+        }
+        workload = wspecs[0];
+    }
+
     const std::string which = opts.get("pattern", "both");
     if (which != "both" && which != "uniform" && which != "tornado")
         unknownValue("pattern", which, "both uniform tornado");
     if (which == "both" || which == "uniform")
         runPattern(TrafficPattern::UniformRandom, rates, phases, threads,
-                   json, mode);
+                   json, mode, workload);
     if (which == "both" || which == "tornado")
         runPattern(TrafficPattern::Tornado, rates, phases, threads, json,
-                   mode);
+                   mode, workload);
 
     std::printf(
         "Paper expectations: mesh_x1/x2 saturate first (lowest bisection);\n"

@@ -14,6 +14,9 @@
 ///   links=p2p|ring       inter-chip link topology
 ///   rate=0.05            flits/cycle per owned compute node
 ///   remote=0.25          remote-chip share of each node's rate
+///   workload=SPEC        dynamic workload (steady | bursty:... |
+///                        ramp:...; burst=on,off,gain shorthand works
+///                        too — trace/churn have no fabric embedding)
 ///   shards=1             engine shard threads (bit-identical)
 ///   crosscheck=N         also run with N shards and require the metrics
 ///                        digest to match the first run (exit 1 if not)
@@ -56,6 +59,17 @@ main(int argc, char **argv)
                            parseLinkTopology, "link topology", "p2p ring");
     cfg.ratePerNode = opts.getDouble("rate", 0.05);
     cfg.remoteShare = opts.getDouble("remote", 0.25);
+    const std::vector<WorkloadSpec> wspecs = workloadAxisFromOpts(opts);
+    if (wspecs.size() > 1)
+        optionError("fabric_cli takes a single workload spec");
+    if (!wspecs.empty()) {
+        if (!wspecs[0].isSteady() && !wspecs[0].modulated()) {
+            optionError(strFormat(
+                "fabric runs take steady/bursty/ramp workloads, got %s",
+                workloadKindName(wspecs[0].kind)));
+        }
+        cfg.workload = wspecs[0];
+    }
     cfg.shards = static_cast<int>(opts.getInt("shards", 1));
     cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed", 1));
     cfg.audit = opts.getBool("verify", false);

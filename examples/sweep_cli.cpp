@@ -14,6 +14,12 @@
 ///   rates=0.02,0.05 | lo:hi:step                     (flits/cycle/injector)
 ///   workloads=1,2                                    (adversarial only)
 ///   placements=0,1,2                                 (chip only)
+///   workload=SPEC[;SPEC]  dynamic-workload axis (steady | bursty:... |
+///                         ramp:... | trace:path=... | churn:...);
+///                         ';'-separated because specs contain ','
+///   trace=FILE inflate=F window=b:e loop=1   trace-replay shorthand
+///   burst=on,off,gain | burst=1              ON/OFF bursty shorthand
+///   churn=frames[,maxvms[,attack]] | churn=1 tenant-churn shorthand
 ///   reps=N seed=S mix=0|1
 ///   warmup=C measure=C drain=C gencycles=C
 ///   threads=N            (0 = hardware concurrency)
@@ -123,6 +129,9 @@ main(int argc, char **argv)
         spec.workloads = parseIntList(opts.get("workloads", ""));
     if (opts.has("placements"))
         spec.placements = parseIntList(opts.get("placements", ""));
+    const std::vector<WorkloadSpec> wspecs = workloadAxisFromOpts(opts);
+    if (!wspecs.empty())
+        spec.workloadSpecs = wspecs;
 
     if (preset.empty() || opts.has("reps"))
         spec.replicates = static_cast<int>(opts.getInt("reps", 1));
@@ -204,9 +213,19 @@ main(int argc, char **argv)
             }
         }
 
+        // The workload-spec column only appears when the axis is in
+        // play, so steady sweeps render exactly as before.
+        const bool showWspec = std::any_of(
+            result.aggregates.begin(), result.aggregates.end(),
+            [](const AggregateCell &a) {
+                return !a.key.workloadSpec.isSteady();
+            });
+
         TextTable t;
         std::vector<std::string> head{"topology", "pattern", "mode",
                                       "rate", "wl", "pl"};
+        if (showWspec)
+            head.push_back("wspec");
         head.insert(head.end(), metricNames.begin(), metricNames.end());
         t.setHeader(head);
         for (const auto &agg : result.aggregates) {
@@ -217,6 +236,8 @@ main(int argc, char **argv)
                 strFormat("%.3f", agg.key.rate),
                 strFormat("%d", agg.key.workload),
                 strFormat("%d", agg.key.placement)};
+            if (showWspec)
+                row.push_back(agg.key.workloadSpec.name());
             for (const auto &name : metricNames) {
                 const auto it = std::find_if(
                     agg.stats.begin(), agg.stats.end(),

@@ -16,6 +16,9 @@
 ///   mode=pvc|per-flow|no-qos|gsf|age|wrr          (default pvc)
 ///   pattern=uniform|tornado|hotspot               (default uniform)
 ///   rate=R        flits/cycle/injector            (default 0.05)
+///   workload=SPEC dynamic workload (steady | bursty:... | ramp:... |
+///                 trace:path=...; churn has no column embedding) — the
+///                 CI workload smoke audits a bursty cell through this
 ///   seed=S
 ///   warmup=C measure=C drain=C                    (default 2000/6000/4000)
 ///   legacy=1      use the always-tick reference engine
@@ -51,6 +54,7 @@ namespace {
 struct RunOptions {
     ColumnConfig col;
     TrafficConfig traffic;
+    WorkloadSpec workload;
     RunPhases phases = testPhases();
     bool legacy = false;
     int shards = 1;
@@ -110,6 +114,21 @@ parseRunOptions(const std::vector<std::string> &args)
             run.traffic.pattern = *p;
         } else if (key == "rate") {
             run.traffic.injectionRate = std::atof(val.c_str());
+        } else if (key == "workload") {
+            std::string err;
+            const auto w = WorkloadSpec::parse(val, &err);
+            if (!w.has_value()) {
+                std::fprintf(stderr, "verify_cli: %s\n", err.c_str());
+                std::exit(2);
+            }
+            if (w->kind == WorkloadKind::Churn) {
+                std::fprintf(stderr,
+                             "verify_cli: tenant churn needs the "
+                             "chip_consolidation scenario; the audited "
+                             "column has no embedding for it\n");
+                std::exit(2);
+            }
+            run.workload = *w;
         } else if (key == "seed") {
             run.traffic.seed = std::strtoull(val.c_str(), nullptr, 10);
         } else if (key == "warmup") {
@@ -158,10 +177,18 @@ recordFabricRun(const RunOptions &run)
     spec.column = run.col;
     spec.links = run.links;
 
+    if (!run.workload.isSteady() && !run.workload.modulated()) {
+        std::fprintf(stderr,
+                     "verify_cli: fabric runs take steady/bursty/ramp "
+                     "workloads, got %s\n",
+                     workloadKindName(run.workload.kind));
+        std::exit(2);
+    }
+
     TrafficConfig traffic = run.traffic;
     traffic.genUntil = run.phases.measureEnd();
 
-    FabricSim sim(spec, traffic);
+    FabricSim sim(spec, traffic, run.workload);
     sim.configure({.activityDriven = !run.legacy, .shards = run.shards});
     sim.setMeasureWindow(run.phases.warmup, run.phases.measureEnd());
 
@@ -187,7 +214,7 @@ recordRun(const RunOptions &run)
     TrafficConfig traffic = run.traffic;
     traffic.genUntil = run.phases.measureEnd();
 
-    ColumnSim sim(col, traffic);
+    ColumnSim sim(col, traffic, run.workload);
     sim.configure({.activityDriven = !run.legacy, .shards = run.shards});
     sim.setMeasureWindow(run.phases.warmup, run.phases.measureEnd());
 

@@ -206,6 +206,10 @@ struct FabricConsolidationConfig {
     int shards = 1; ///< EngineConfig::shards (bit-identical by contract)
     std::uint64_t seed = 1;
     RunPhases phases;
+    /// Dynamic-workload shape (steady/bursty/ramp; trace and churn have
+    /// no fabric embedding). Bursty/ramp modulate every block generator
+    /// with per-block decorrelated modulator streams.
+    WorkloadSpec workload;
     /// Record the flit trace and run the independent checker's audit on
     /// it (result.auditOk / auditEvents / auditDiagnostic).
     bool audit = false;

@@ -69,6 +69,15 @@ CellCache::cellKey(const CellSpec &cell)
     h = mix(h, doubleBits(cell.rate));
     h = mix(h, static_cast<std::uint64_t>(cell.workload));
     h = mix(h, static_cast<std::uint64_t>(cell.placement));
+    // Mirror of the sweep's seed policy: only a non-steady workload spec
+    // joins the key, so every fragment stored before the dynamic-workload
+    // axis existed keeps its key (and stays a hit).
+    if (!cell.workloadSpec.isSteady()) {
+        std::vector<std::uint64_t> words;
+        cell.workloadSpec.appendKeyWords(words);
+        for (std::uint64_t w : words)
+            h = mix(h, w);
+    }
     h = mix(h, static_cast<std::uint64_t>(cell.replicate));
     h = mix(h, cell.seed);
     h = mix(h, cell.phases.warmup);
@@ -95,7 +104,7 @@ CellCache::path(std::uint64_t key) const
 static std::string
 specLine(const CellSpec &c)
 {
-    return strFormat(
+    std::string line = strFormat(
         "spec %s %s %s %s %s %d %d %d %llu %llu %llu %llu %llu",
         scenarioName(c.scenario), topologyName(c.topology),
         patternName(c.pattern), qosModeName(c.mode), hexFloat(c.rate).c_str(),
@@ -105,6 +114,11 @@ specLine(const CellSpec &c)
         static_cast<unsigned long long>(c.phases.measure),
         static_cast<unsigned long long>(c.phases.drain),
         static_cast<unsigned long long>(c.genCycles));
+    // Appended only for non-steady cells, so pre-existing steady
+    // fragments still match their echo line byte for byte.
+    if (!c.workloadSpec.isSteady())
+        line += " w=" + c.workloadSpec.name();
+    return line;
 }
 
 bool

@@ -3,8 +3,9 @@
 ///
 /// Every cell of an expanded SweepSpec is keyed by a canonical hash of
 /// the coordinates that determine its dynamics — scenario, topology,
-/// pattern, mode, rate, workload, placement, replicate, seed, phases and
-/// generation horizon — mixed with the build's kEngineSalt. Execution
+/// pattern, mode, rate, workload, placement, dynamic-workload spec
+/// (when non-steady), replicate, seed, phases and generation horizon —
+/// mixed with the build's kEngineSalt. Execution
 /// knobs (shard count, runner threads) are deliberately excluded: they
 /// are bit-identical by contract, so a cached result is valid under any
 /// of them. Bumping kEngineSalt (the contract in sim/engine_salt.h)

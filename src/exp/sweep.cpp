@@ -10,6 +10,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "chip/churn.h"
 #include "chip/os.h"
 #include "common/assert.h"
 #include "common/strings.h"
@@ -59,6 +60,15 @@ cellSeed(const SweepSpec &spec, const CellSpec &cell)
     h = mixSeed(h, rateBits(cell.rate));
     h = mixSeed(h, static_cast<std::uint64_t>(cell.workload));
     h = mixSeed(h, static_cast<std::uint64_t>(cell.placement));
+    // A non-steady workload spec changes the cell's dynamics, so its
+    // canonical words join the mix; steady cells skip it entirely and
+    // keep the seeds every pre-existing sweep derived.
+    if (!cell.workloadSpec.isSteady()) {
+        std::vector<std::uint64_t> words;
+        cell.workloadSpec.appendKeyWords(words);
+        for (std::uint64_t w : words)
+            h = mixSeed(h, w);
+    }
     h = mixSeed(h, static_cast<std::uint64_t>(cell.replicate));
     return h;
 }
@@ -98,7 +108,8 @@ buildColumnCellSim(const CellSpec &cell)
         traffic.injectionRate = cell.rate;
     }
     traffic.seed = cell.seed;
-    auto sim = std::make_unique<ColumnSim>(col, traffic);
+    auto sim =
+        std::make_unique<ColumnSim>(col, traffic, cell.workloadSpec);
     sim->configure({.shards = cell.shards});
     sim->setMeasureWindow(cell.phases.warmup, cell.phases.measureEnd());
     return sim;
@@ -199,6 +210,11 @@ runAdversarialCell(const CellSpec &cell)
 {
     TAQOS_ASSERT(cell.workload == 1 || cell.workload == 2,
                  "adversarial workload must be 1 or 2");
+    TAQOS_ASSERT(cell.workloadSpec.isSteady() ||
+                     cell.workloadSpec.modulated(),
+                 "adversarial cells take steady/bursty/ramp workloads, "
+                 "got %s",
+                 workloadKindName(cell.workloadSpec.kind));
     const Cycle gen = cell.genCycles;
     const Cycle budget = gen * 10;
 
@@ -209,7 +225,7 @@ runAdversarialCell(const CellSpec &cell)
     finite.genUntil = gen;
     finite.seed = cell.seed;
 
-    ColumnSim sim(col, finite);
+    ColumnSim sim(col, finite, cell.workloadSpec);
     sim.configure({.shards = cell.shards});
     sim.setMeasureWindow(0, gen);
     const Cycle done = sim.runUntilDrained(budget, gen);
@@ -220,7 +236,7 @@ runAdversarialCell(const CellSpec &cell)
     // topology, per-flow queueing.
     ColumnConfig colRef = col;
     colRef.mode = QosMode::PerFlowQueue;
-    ColumnSim ref(colRef, finite);
+    ColumnSim ref(colRef, finite, cell.workloadSpec);
     ref.configure({.shards = cell.shards});
     ref.setMeasureWindow(0, gen);
     const Cycle doneRef = ref.runUntilDrained(budget, gen);
@@ -269,9 +285,102 @@ runAdversarialCell(const CellSpec &cell)
     return res;
 }
 
+/// Tenant-churn consolidation cell: the placement preset seeds the
+/// initial tenant mix, then a ChurnDriver arrives/departs one VM per
+/// epoch (churnFrames QOS frames), reprogramming the live sim's flow
+/// registers and compute-flow activity at each frame-aligned epoch
+/// boundary. Under churnAttack the column's own terminal flows run the
+/// fig. 5 adversarial rates throughout, so preemption is exercised
+/// against a shifting tenant mix.
+CellResult
+runChipChurnCell(const CellSpec &cell)
+{
+    const auto &placements = vmPlacements();
+    TAQOS_ASSERT(cell.placement >= 0 &&
+                     static_cast<std::size_t>(cell.placement) <
+                         placements.size(),
+                 "placement index out of range");
+    const VmPlacement &pl =
+        placements[static_cast<std::size_t>(cell.placement)];
+
+    ChipNetConfig cfg;
+    cfg.column.topology = cell.topology;
+    cfg.column.mode = cell.mode;
+    cfg.column.numNodes = cfg.chip.nodesY();
+
+    std::vector<ChurnTenant> initial;
+    for (const auto &s : pl.servers)
+        initial.push_back({s.id, s.threads, s.weight});
+    ChurnDriver churn(cfg, initial, cell.workloadSpec, cell.seed);
+    cfg.column.pvc = churn.flowRegisters();
+
+    TrafficConfig traffic;
+    traffic.pattern = TrafficPattern::UniformRandom;
+    traffic.injectionRate = cell.rate;
+    traffic.genUntil = cell.phases.measureEnd();
+    traffic.seed = cell.seed;
+    const std::vector<bool> active = churn.activeComputeFlows();
+    traffic.activeFlows.assign(active.begin(), active.end());
+    if (cell.workloadSpec.churnAttack) {
+        // The driver never touches terminal flows, so the attacker's
+        // activity and rates survive every reprogramming epoch.
+        const auto &rates = workload1Rates();
+        traffic.flowRates.assign(
+            static_cast<std::size_t>(cfg.column.numFlows()), -1.0);
+        for (int row = 0; row < cfg.chip.nodesY(); ++row) {
+            const FlowId f = cfg.column.flowOf(row, 0);
+            traffic.activeFlows[static_cast<std::size_t>(f)] = true;
+            traffic.flowRates[static_cast<std::size_t>(f)] =
+                rates[static_cast<std::size_t>(row) % rates.size()];
+        }
+    }
+
+    ChipSim sim(cfg, traffic);
+    sim.configure({.shards = cell.shards});
+    sim.setMeasureWindow(cell.phases.warmup, cell.phases.measureEnd());
+
+    // Segment loop: run to each frame-aligned epoch boundary inside the
+    // generation horizon, apply that epoch's tenant change, continue.
+    const Cycle epochLen = churn.epochLen();
+    const Cycle genEnd = traffic.genUntil;
+    Cycle now = 0;
+    for (int e = 1; static_cast<Cycle>(e) * epochLen < genEnd; ++e) {
+        const Cycle boundary = static_cast<Cycle>(e) * epochLen;
+        sim.run(boundary - now);
+        now = boundary;
+        churn.advanceTo(e);
+        churn.applyTo(sim);
+    }
+    const Cycle budget = cell.phases.total() * 4;
+    const Cycle drain = sim.runUntilDrained(
+        budget > now ? budget - now : 0, genEnd);
+    sim.checkInvariants();
+
+    const SimMetrics &m = sim.metrics();
+    CellResult res;
+    res.spec = cell;
+    res.put("drain_cycle",
+            drain == kNoCycle ? -1.0 : static_cast<double>(drain));
+    res.put("delivered_packets", static_cast<double>(m.deliveredPackets));
+    res.put("handoffs", static_cast<double>(sim.handoffs()));
+    res.put("preemptions", static_cast<double>(m.preemptionEvents));
+    res.put("avg_latency", m.latency.mean());
+    res.put("churn_epochs", static_cast<double>(churn.currentEpoch()));
+    res.put("churn_arrivals", static_cast<double>(churn.arrivals()));
+    res.put("churn_departures", static_cast<double>(churn.departures()));
+    res.put("churn_live_vms", static_cast<double>(churn.liveVms()));
+    return res;
+}
+
 CellResult
 runChipConsolidationCell(const CellSpec &cell)
 {
+    TAQOS_ASSERT(cell.workloadSpec.kind != WorkloadKind::Trace,
+                 "trace replay is a column workload; the chip "
+                 "consolidation scenario has no embedding for it");
+    if (cell.workloadSpec.kind == WorkloadKind::Churn)
+        return runChipChurnCell(cell);
+
     const auto &placements = vmPlacements();
     TAQOS_ASSERT(cell.placement >= 0 &&
                      static_cast<std::size_t>(cell.placement) <
@@ -311,7 +420,7 @@ runChipConsolidationCell(const CellSpec &cell)
         }
     }
 
-    ChipSim sim(cfg, traffic);
+    ChipSim sim(cfg, traffic, cell.workloadSpec);
     sim.configure({.shards = cell.shards});
     sim.setMeasureWindow(cell.phases.warmup, cell.phases.measureEnd());
     const Cycle drain =
@@ -359,6 +468,7 @@ emitCellKey(JsonWriter &w, const CellSpec &c)
     w.field("rate", c.rate);
     w.field("workload", c.workload);
     w.field("placement", c.placement);
+    w.field("workload_spec", c.workloadSpec.name());
 }
 
 } // namespace
@@ -469,6 +579,32 @@ SweepSpec::canonical() const
             c.placements = {0};
         break;
     }
+
+    if (c.workloadSpecs.empty())
+        c.workloadSpecs = {WorkloadSpec{}};
+    for (const auto &w : c.workloadSpecs) {
+        switch (c.scenario) {
+          case Scenario::LatencyLoad:
+            TAQOS_ASSERT(w.kind != WorkloadKind::Churn,
+                         "tenant churn needs the chip_consolidation "
+                         "scenario, not %s",
+                         scenarioName(c.scenario));
+            break;
+          case Scenario::Hotspot:
+          case Scenario::Adversarial:
+            TAQOS_ASSERT(w.isSteady() || w.modulated(),
+                         "%s cells take steady/bursty/ramp workloads, "
+                         "got %s",
+                         scenarioName(c.scenario),
+                         workloadKindName(w.kind));
+            break;
+          case Scenario::ChipConsolidation:
+            TAQOS_ASSERT(w.kind != WorkloadKind::Trace,
+                         "trace replay is a column workload; the chip "
+                         "consolidation scenario has no embedding for it");
+            break;
+        }
+    }
     return c;
 }
 
@@ -483,21 +619,25 @@ SweepSpec::expand() const
                 for (double rate : c.rates) {
                     for (int workload : c.workloads) {
                         for (int placement : c.placements) {
-                            for (int rep = 0; rep < c.replicates; ++rep) {
-                                CellSpec cell;
-                                cell.scenario = c.scenario;
-                                cell.topology = kind;
-                                cell.pattern = pattern;
-                                cell.mode = mode;
-                                cell.rate = rate;
-                                cell.workload = workload;
-                                cell.placement = placement;
-                                cell.replicate = rep;
-                                cell.phases = c.phases;
-                                cell.genCycles = c.genCycles;
-                                cell.shards = c.shards;
-                                cell.seed = cellSeed(c, cell);
-                                cells.push_back(cell);
+                            for (const auto &ws : c.workloadSpecs) {
+                                for (int rep = 0; rep < c.replicates;
+                                     ++rep) {
+                                    CellSpec cell;
+                                    cell.scenario = c.scenario;
+                                    cell.topology = kind;
+                                    cell.pattern = pattern;
+                                    cell.mode = mode;
+                                    cell.rate = rate;
+                                    cell.workload = workload;
+                                    cell.placement = placement;
+                                    cell.workloadSpec = ws;
+                                    cell.replicate = rep;
+                                    cell.phases = c.phases;
+                                    cell.genCycles = c.genCycles;
+                                    cell.shards = c.shards;
+                                    cell.seed = cellSeed(c, cell);
+                                    cells.push_back(cell);
+                                }
                             }
                         }
                     }
@@ -577,6 +717,10 @@ SweepResult::toJson() const
     w.beginArray("placements");
     for (int x : spec.placements)
         w.value(x);
+    w.endArray();
+    w.beginArray("workload_specs");
+    for (const auto &ws : spec.workloadSpecs)
+        w.value(ws.name());
     w.endArray();
     w.field("replicates", spec.replicates);
     w.field("baseSeed", spec.baseSeed);

@@ -27,6 +27,7 @@
 #include "sim/sim_config.h"
 #include "topo/topology.h"
 #include "traffic/pattern.h"
+#include "traffic/workload_spec.h"
 
 namespace taqos {
 
@@ -69,6 +70,11 @@ struct CellSpec {
     double rate = 0.05;  ///< per injector (column) / per node (chip)
     int workload = 0;    ///< Adversarial: 1 or 2
     int placement = 0;   ///< ChipConsolidation: index into vmPlacements()
+    /// Dynamic-workload shape driving this cell (steady by default).
+    /// A non-steady spec changes the cell's dynamics, so it joins the
+    /// seed mix and the cache key; a steady spec leaves both untouched —
+    /// pre-existing sweeps keep their seeds and cache fragments.
+    WorkloadSpec workloadSpec;
     int replicate = 0;   ///< 0..replicates-1
     std::uint64_t seed = 0; ///< traffic seed for this cell
     RunPhases phases;
@@ -106,6 +112,11 @@ struct SweepSpec {
     std::vector<double> rates;            ///< default: {0.05}
     std::vector<int> workloads;           ///< Adversarial; default: {1, 2}
     std::vector<int> placements;          ///< Chip; default: {0}
+    /// Dynamic-workload axis; default: {steady}. Per-scenario legality
+    /// (asserted by canonical()): trace replay only drives the column
+    /// scenarios (LatencyLoad), churn only ChipConsolidation;
+    /// bursty/ramp compose with every scenario.
+    std::vector<WorkloadSpec> workloadSpecs;
 
     /// Replicate seeds per grid point (mean/stddev across them).
     int replicates = 1;
@@ -126,7 +137,7 @@ struct SweepSpec {
 
     /// Flatten the (canonical) grid; cell order is deterministic:
     /// topology-major, then pattern, mode, rate, workload, placement,
-    /// replicate.
+    /// workload spec, replicate.
     std::vector<CellSpec> expand() const;
 };
 

@@ -13,6 +13,17 @@ ChipTrafficSource::ChipTrafficSource(ChipNetwork &net,
 {
 }
 
+ChipTrafficSource::ChipTrafficSource(ChipNetwork &net,
+                                     const TrafficConfig &traffic,
+                                     const WorkloadSpec &workload)
+    : net_(net), traffic_(traffic), gen_(net.cfg(), traffic, workload),
+      scratch_(static_cast<std::size_t>(net.cfg().numFlows()))
+{
+    TAQOS_ASSERT(workload.kind != WorkloadKind::Trace,
+                 "trace replay is a column workload; the chip has no "
+                 "embedding for it");
+}
+
 void
 ChipTrafficSource::tick(Cycle now, PacketPool &pool,
                         std::vector<InjectorQueue> &injectors,
@@ -87,6 +98,16 @@ ChipSim::ChipSim(const ChipNetConfig &cfg, const TrafficConfig &traffic)
     : NetSim(ChipNetwork::build(cfg))
 {
     auto src = std::make_unique<ChipTrafficSource>(network(), traffic);
+    src_ = src.get();
+    setTrafficSource(std::move(src));
+}
+
+ChipSim::ChipSim(const ChipNetConfig &cfg, const TrafficConfig &traffic,
+                 const WorkloadSpec &workload)
+    : NetSim(ChipNetwork::build(cfg))
+{
+    auto src = std::make_unique<ChipTrafficSource>(network(), traffic,
+                                                   workload);
     src_ = src.get();
     setTrafficSource(std::move(src));
 }

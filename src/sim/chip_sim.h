@@ -32,6 +32,12 @@ namespace taqos {
 class ChipTrafficSource : public TrafficSource {
   public:
     ChipTrafficSource(ChipNetwork &net, const TrafficConfig &traffic);
+    /// Generate under a dynamic workload: bursty/ramp specs modulate the
+    /// inner generator (steady and churn specs leave it plain — churn is
+    /// driven from outside by ChurnDriver). Trace replay is a column
+    /// workload; it has no chip embedding.
+    ChipTrafficSource(ChipNetwork &net, const TrafficConfig &traffic,
+                      const WorkloadSpec &workload);
 
     void tick(Cycle now, PacketPool &pool,
               std::vector<InjectorQueue> &injectors,
@@ -65,6 +71,8 @@ class ChipTrafficSource : public TrafficSource {
 class ChipSim : public NetSim {
   public:
     ChipSim(const ChipNetConfig &cfg, const TrafficConfig &traffic);
+    ChipSim(const ChipNetConfig &cfg, const TrafficConfig &traffic,
+            const WorkloadSpec &workload);
     ~ChipSim() override;
 
     ChipNetwork &network() { return static_cast<ChipNetwork &>(*net_); }

@@ -1,5 +1,8 @@
 #include "sim/column_sim.h"
 
+#include "common/assert.h"
+#include "traffic/dynamic.h"
+
 namespace taqos {
 
 ColumnSim::ColumnSim(std::unique_ptr<ColumnNetwork> net)
@@ -8,11 +11,20 @@ ColumnSim::ColumnSim(std::unique_ptr<ColumnNetwork> net)
 }
 
 ColumnSim::ColumnSim(const ColumnConfig &col, const TrafficConfig &traffic)
+    : ColumnSim(col, traffic, WorkloadSpec{})
+{
+}
+
+ColumnSim::ColumnSim(const ColumnConfig &col, const TrafficConfig &traffic,
+                     const WorkloadSpec &workload)
     : ColumnSim(ColumnNetwork::build(col))
 {
-    auto gen = std::make_unique<TrafficGenerator>(network().cfg(), traffic);
-    gen_ = gen.get();
-    setTrafficSource(std::move(gen));
+    std::string err;
+    auto src = makeTrafficSource(workload, network().cfg(), traffic, &err);
+    TAQOS_ASSERT(src != nullptr, "workload '%s' failed: %s",
+                 workload.name().c_str(), err.c_str());
+    gen_ = dynamic_cast<TrafficGenerator *>(src.get());
+    setTrafficSource(std::move(src));
 }
 
 ColumnSim::ColumnSim(const ColumnConfig &col, TrafficTrace trace)

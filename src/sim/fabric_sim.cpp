@@ -8,9 +8,20 @@ namespace taqos {
 
 FabricTrafficSource::FabricTrafficSource(FabricNetwork &net,
                                          const TrafficConfig &traffic)
+    : FabricTrafficSource(net, traffic, WorkloadSpec{})
+{
+}
+
+FabricTrafficSource::FabricTrafficSource(FabricNetwork &net,
+                                         const TrafficConfig &traffic,
+                                         const WorkloadSpec &workload)
     : net_(net), traffic_(traffic),
       scratch_(static_cast<std::size_t>(net.flowsPerBlock()))
 {
+    TAQOS_ASSERT(workload.isSteady() || workload.modulated(),
+                 "fabric traffic supports steady/bursty/ramp workloads, "
+                 "got %s",
+                 workloadKindName(workload.kind));
     const int fpb = net_.flowsPerBlock();
     const int slots = net_.slotsPerNode();
     gens_.reserve(static_cast<std::size_t>(net_.blocks()));
@@ -19,7 +30,9 @@ FabricTrafficSource::FabricTrafficSource(FabricNetwork &net,
         TrafficConfig bt = traffic_;
         // Decorrelate the blocks' Bernoulli streams; block 0 keeps the
         // seed unchanged so a one-block fabric reproduces
-        // ChipTrafficSource's stream byte for byte.
+        // ChipTrafficSource's stream byte for byte. A modulated workload
+        // derives each block's modulator streams from the same
+        // per-block seed, so burst phases decorrelate too.
         bt.seed = traffic_.seed +
                   0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(g);
         bt.activeFlows.assign(static_cast<std::size_t>(fpb), false);
@@ -33,8 +46,8 @@ FabricTrafficSource::FabricTrafficSource(FabricNetwork &net,
                 traffic_.flowRates.begin() + g * fpb,
                 traffic_.flowRates.begin() + (g + 1) * fpb);
         }
-        gens_.push_back(
-            std::make_unique<TrafficGenerator>(net_.blockCfg(g), bt));
+        gens_.push_back(std::make_unique<TrafficGenerator>(
+            net_.blockCfg(g), bt, workload));
     }
 }
 
@@ -155,9 +168,16 @@ FabricTrafficSource::unpackState(const std::vector<std::uint64_t> &words)
 }
 
 FabricSim::FabricSim(const FabricSpec &spec, const TrafficConfig &traffic)
+    : FabricSim(spec, traffic, WorkloadSpec{})
+{
+}
+
+FabricSim::FabricSim(const FabricSpec &spec, const TrafficConfig &traffic,
+                     const WorkloadSpec &workload)
     : NetSim(FabricNetwork::build(spec))
 {
-    auto src = std::make_unique<FabricTrafficSource>(network(), traffic);
+    auto src = std::make_unique<FabricTrafficSource>(network(), traffic,
+                                                     workload);
     src_ = src.get();
     setTrafficSource(std::move(src));
 

@@ -45,6 +45,11 @@ namespace taqos {
 class FabricTrafficSource : public TrafficSource {
   public:
     FabricTrafficSource(FabricNetwork &net, const TrafficConfig &traffic);
+    /// Generate under a dynamic workload: bursty/ramp specs modulate
+    /// every block generator (each block's modulator streams derive from
+    /// its own decorrelated seed). Trace/churn have no fabric embedding.
+    FabricTrafficSource(FabricNetwork &net, const TrafficConfig &traffic,
+                        const WorkloadSpec &workload);
 
     void tick(Cycle now, PacketPool &pool,
               std::vector<InjectorQueue> &injectors,
@@ -72,6 +77,8 @@ class FabricTrafficSource : public TrafficSource {
 class FabricSim : public NetSim {
   public:
     FabricSim(const FabricSpec &spec, const TrafficConfig &traffic);
+    FabricSim(const FabricSpec &spec, const TrafficConfig &traffic,
+              const WorkloadSpec &workload);
     ~FabricSim() override;
 
     FabricNetwork &network() { return static_cast<FabricNetwork &>(*net_); }

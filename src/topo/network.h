@@ -94,6 +94,15 @@ class Network {
     /// nothing to rescan, and whatever gives it work later re-arms it.
     void invalidateArbitration();
 
+    /// Rewrite the per-flow QOS weights in place — the memory-mapped
+    /// flow-register reprogramming the hypervisor performs when tenants
+    /// arrive or depart (Sec. 2.2). Every router references pvc_, so the
+    /// new weights take effect immediately; cached arbitration state is
+    /// invalidated. Callers should apply this at frame boundaries (the
+    /// tenant-churn driver does), where in-flight priority state resets
+    /// anyway. `weights` must be empty (all-ones) or sized numFlows.
+    void reprogramFlowWeights(std::vector<std::uint32_t> weights);
+
     /// Attach (or detach, with nullptr) a flit-trace recorder to every
     /// router, terminal and aux port: registers each port with the sink
     /// and points the state-transition hooks at it. Usually reached via

@@ -1,6 +1,9 @@
 #include "traffic/generator.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
+#include "traffic/dynamic.h"
 
 namespace taqos {
 
@@ -18,6 +21,45 @@ TrafficGenerator::TrafficGenerator(const ColumnConfig &col,
             traffic_.flowActive(f) ? traffic_.rateOf(f) : 0.0;
         genProb_.push_back(rate / traffic_.meanPacketFlits());
     }
+}
+
+TrafficGenerator::TrafficGenerator(const ColumnConfig &col,
+                                   const TrafficConfig &traffic,
+                                   const WorkloadSpec &workload)
+    : TrafficGenerator(col, traffic)
+{
+    mod_ = makeRateModulator(workload, col_.numFlows(), traffic_.seed);
+}
+
+TrafficGenerator::~TrafficGenerator() = default;
+
+void
+TrafficGenerator::recomputeProb(FlowId flow)
+{
+    const double rate = traffic_.flowActive(flow) ? traffic_.rateOf(flow)
+                                                  : 0.0;
+    genProb_[static_cast<std::size_t>(flow)] =
+        rate / traffic_.meanPacketFlits();
+}
+
+void
+TrafficGenerator::setFlowActive(FlowId flow, bool active)
+{
+    if (traffic_.activeFlows.empty())
+        traffic_.activeFlows.assign(rng_.size(), true);
+    traffic_.activeFlows[static_cast<std::size_t>(flow)] = active;
+    recomputeProb(flow);
+}
+
+void
+TrafficGenerator::setFlowRate(FlowId flow, double rate)
+{
+    if (traffic_.flowRates.empty()) {
+        traffic_.flowRates.assign(
+            rng_.size(), -1.0); // negative = fall back to injectionRate
+    }
+    traffic_.flowRates[static_cast<std::size_t>(flow)] = rate;
+    recomputeProb(flow);
 }
 
 NodeId
@@ -52,20 +94,35 @@ TrafficGenerator::tick(Cycle now, PacketPool &pool,
     if (now >= traffic_.genUntil)
         return;
 
+    // A modulator reshapes this cycle's probabilities; the steady path
+    // reads genProb_ directly and is untouched (bit-identical to the
+    // modulator-free build). A zero scale freezes the flow's stream —
+    // no draw — keeping the sequences deterministic through bursts.
+    const auto flows = static_cast<std::size_t>(col_.numFlows());
+    const double *prob = genProb_.data();
+    if (mod_ != nullptr) {
+        mod_->advance(now);
+        effProb_.resize(flows);
+        for (std::size_t f = 0; f < flows; ++f) {
+            effProb_[f] = std::min(
+                1.0, genProb_[f] * mod_->scaleOf(static_cast<FlowId>(f)));
+        }
+        prob = effProb_.data();
+    }
+
     // Batched Bernoulli pass. Each flow's stream consumes exactly the
     // draws the per-flow bernoulli() calls would (one per cycle while
     // 0 < p < 1; none at the degenerate probabilities), so the sequences
     // stay bit-identical — only the loop structure changes.
-    const auto flows = static_cast<std::size_t>(col_.numFlows());
     draws_.resize(flows);
     for (std::size_t f = 0; f < flows; ++f) {
-        const double p = genProb_[f];
+        const double p = prob[f];
         if (p > 0.0 && p < 1.0)
             draws_[f] = rng_[f].nextU64();
     }
 
     for (FlowId f = 0; f < col_.numFlows(); ++f) {
-        const double p = genProb_[static_cast<std::size_t>(f)];
+        const double p = prob[static_cast<std::size_t>(f)];
         if (p <= 0.0)
             continue;
         Rng &rng = rng_[static_cast<std::size_t>(f)];
@@ -115,20 +172,30 @@ TrafficGenerator::packState() const
         w.insert(w.end(), s.begin(), s.end());
     }
     w.push_back(suppressed_);
+    if (mod_ != nullptr) {
+        const auto mw = mod_->packState();
+        w.insert(w.end(), mw.begin(), mw.end());
+    }
     return w;
 }
 
 void
 TrafficGenerator::unpackState(const std::vector<std::uint64_t> &words)
 {
-    TAQOS_ASSERT(words.size() == rng_.size() * 4 + 1,
+    const std::size_t base = rng_.size() * 4 + 1;
+    TAQOS_ASSERT(mod_ != nullptr ? words.size() >= base
+                                 : words.size() == base,
                  "traffic-generator restore geometry mismatch");
     std::size_t i = 0;
     for (Rng &rng : rng_) {
         rng.setState({words[i], words[i + 1], words[i + 2], words[i + 3]});
         i += 4;
     }
-    suppressed_ = words[i];
+    suppressed_ = words[i++];
+    if (mod_ != nullptr)
+        mod_->unpackState({words.begin() +
+                               static_cast<std::ptrdiff_t>(i),
+                           words.end()});
 }
 
 } // namespace taqos

@@ -2,6 +2,7 @@
 
 #include "common/assert.h"
 #include "common/strings.h"
+#include "traffic/dynamic.h"
 
 namespace taqos {
 
@@ -81,12 +82,36 @@ TrafficTrace::toCsv() const
     return out;
 }
 
-TrafficTrace
-TrafficTrace::fromCsv(const std::string &csv)
+namespace {
+
+/// Strict non-negative integer field (the CSV carries nothing signed);
+/// rejects empty tokens and trailing garbage, unlike atoi.
+bool
+parseCsvField(const std::string &tok, std::uint64_t &out)
 {
-    TrafficTrace trace;
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(tok.c_str(), &end, 10);
+    return end != tok.c_str() && *end == '\0' && tok[0] != '-';
+}
+
+} // namespace
+
+std::optional<TrafficTrace>
+TrafficTrace::fromCsv(const std::string &csv, std::string *err)
+{
+    const auto fail = [err](std::string msg) -> std::optional<TrafficTrace> {
+        if (err != nullptr)
+            *err = std::move(msg);
+        return std::nullopt;
+    };
+
+    std::vector<TraceEntry> entries;
     bool first = true;
+    std::size_t lineNo = 0;
     for (const auto &line : strSplit(csv, '\n')) {
+        ++lineNo;
         const std::string trimmed = strTrim(line);
         if (trimmed.empty())
             continue;
@@ -96,16 +121,38 @@ TrafficTrace::fromCsv(const std::string &csv)
                 continue; // header
         }
         const auto fields = strSplit(trimmed, ',');
-        TAQOS_ASSERT(fields.size() == 4, "bad trace line: %s",
-                     trimmed.c_str());
+        if (fields.size() != 4) {
+            return fail(strFormat(
+                "trace csv line %zu: want 'cycle,flow,dst,size', got '%s'",
+                lineNo, trimmed.c_str()));
+        }
+        static const char *kFieldNames[4] = {"cycle", "flow", "dst", "size"};
+        std::uint64_t v[4];
+        for (std::size_t i = 0; i < 4; ++i) {
+            const std::string tok = strTrim(fields[i]);
+            if (!parseCsvField(tok, v[i])) {
+                return fail(strFormat("trace csv line %zu: bad %s '%s'",
+                                      lineNo, kFieldNames[i], tok.c_str()));
+            }
+        }
         TraceEntry e;
-        e.cycle = std::strtoull(fields[0].c_str(), nullptr, 10);
-        e.flow = static_cast<FlowId>(std::atoi(fields[1].c_str()));
-        e.dst = static_cast<NodeId>(std::atoi(fields[2].c_str()));
-        e.sizeFlits = std::atoi(fields[3].c_str());
-        trace.append(e);
+        e.cycle = v[0];
+        e.flow = static_cast<FlowId>(v[1]);
+        e.dst = static_cast<NodeId>(v[2]);
+        e.sizeFlits = static_cast<int>(v[3]);
+        if (e.sizeFlits < 1) {
+            return fail(strFormat("trace csv line %zu: bad size '%d'",
+                                  lineNo, e.sizeFlits));
+        }
+        if (!entries.empty() && entries.back().cycle > e.cycle) {
+            return fail(strFormat(
+                "trace csv line %zu: cycle %llu out of order (after %llu)",
+                lineNo, static_cast<unsigned long long>(e.cycle),
+                static_cast<unsigned long long>(entries.back().cycle)));
+        }
+        entries.push_back(e);
     }
-    return trace;
+    return TrafficTrace(std::move(entries));
 }
 
 TraceReplayer::TraceReplayer(const ColumnConfig &col, TrafficTrace trace)
@@ -114,38 +161,63 @@ TraceReplayer::TraceReplayer(const ColumnConfig &col, TrafficTrace trace)
     col_.canonicalize();
 }
 
+TraceReplayer::TraceReplayer(const ColumnConfig &col, TrafficTrace trace,
+                             const WorkloadSpec &spec)
+    : TraceReplayer(col, applyReplayWindow(trace, spec))
+{
+    TAQOS_ASSERT(spec.kind == WorkloadKind::Trace,
+                 "trace replayer needs a trace workload, got %s",
+                 workloadKindName(spec.kind));
+    loop_ = spec.traceLoop;
+    loopLen_ = spec.windowEnd != kNoCycle
+        ? spec.windowEnd - spec.windowBegin
+        : trace_.lastCycle() + 1;
+}
+
 void
 TraceReplayer::tick(Cycle now, PacketPool &pool,
                     std::vector<InjectorQueue> &injectors,
                     SimMetrics &metrics)
 {
     const auto &entries = trace_.entries();
-    while (next_ < entries.size() && entries[next_].cycle == now) {
-        const TraceEntry &e = entries[next_++];
-        TAQOS_ASSERT(e.flow >= 0 && e.flow < col_.numFlows(),
-                     "trace flow %d out of range", e.flow);
-        TAQOS_ASSERT(e.dst >= 0 && e.dst < col_.numNodes,
-                     "trace dst %d out of range", e.dst);
+    if (entries.empty())
+        return;
+    // Entries replay at their recorded cycle, offset by a full window
+    // length per completed lap when looping. Stale earlier-cycle entries
+    // (replay started mid-trace) are skipped by the same walk.
+    while (next_ < entries.size()) {
+        const Cycle at = entries[next_].cycle + lap_ * loopLen_;
+        if (at > now)
+            break;
+        if (at == now) {
+            const TraceEntry &e = entries[next_];
+            TAQOS_ASSERT(e.flow >= 0 && e.flow < col_.numFlows(),
+                         "trace flow %d out of range", e.flow);
+            TAQOS_ASSERT(e.dst >= 0 && e.dst < col_.numNodes,
+                         "trace dst %d out of range", e.dst);
 
-        NetPacket *pkt = pool.alloc();
-        pkt->flow = e.flow;
-        pkt->src = col_.nodeOfFlow(e.flow);
-        pkt->dst = e.dst;
-        pkt->sizeFlits = e.sizeFlits;
-        pkt->genCycle = now;
-        pkt->queuedCycle = now;
-        pkt->state = PacketState::Queued;
-        pkt->measured = metrics.inWindow(now);
-        injectors[static_cast<std::size_t>(e.flow)].enqueue(pkt);
+            NetPacket *pkt = pool.alloc();
+            pkt->flow = e.flow;
+            pkt->src = col_.nodeOfFlow(e.flow);
+            pkt->dst = e.dst;
+            pkt->sizeFlits = e.sizeFlits;
+            pkt->genCycle = now;
+            pkt->queuedCycle = now;
+            pkt->state = PacketState::Queued;
+            pkt->measured = metrics.inWindow(now);
+            injectors[static_cast<std::size_t>(e.flow)].enqueue(pkt);
 
-        ++metrics.generatedPackets;
-        metrics.generatedFlits += static_cast<std::uint64_t>(e.sizeFlits);
-        if (pkt->measured)
-            ++metrics.measuredGenerated;
-    }
-    // Skip any stale earlier-cycle entries (replay started mid-trace).
-    while (next_ < entries.size() && entries[next_].cycle < now)
+            ++metrics.generatedPackets;
+            metrics.generatedFlits += static_cast<std::uint64_t>(e.sizeFlits);
+            if (pkt->measured)
+                ++metrics.measuredGenerated;
+        }
         ++next_;
+        if (next_ == entries.size() && loop_) {
+            next_ = 0;
+            ++lap_;
+        }
+    }
 }
 
 } // namespace taqos

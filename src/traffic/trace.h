@@ -7,6 +7,7 @@
 /// which the paper's evaluation substitutes with synthetic traffic).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "topo/topology.h"
 #include "traffic/generator.h"
 #include "traffic/pattern.h"
+#include "traffic/workload_spec.h"
 
 namespace taqos {
 
@@ -45,8 +47,12 @@ class TrafficTrace {
     void append(TraceEntry entry);
 
     /// CSV round trip: "cycle,flow,dst,size" per line (with header).
+    /// fromCsv diagnoses malformed input — wrong field count, non-numeric
+    /// fields, out-of-order cycles — as nullopt plus a one-line message
+    /// naming the offending line, instead of silently truncating.
     std::string toCsv() const;
-    static TrafficTrace fromCsv(const std::string &csv);
+    static std::optional<TrafficTrace> fromCsv(const std::string &csv,
+                                               std::string *err = nullptr);
 
   private:
     std::vector<TraceEntry> entries_;
@@ -59,27 +65,40 @@ class TraceReplayer : public TrafficSource {
   public:
     TraceReplayer(const ColumnConfig &col, TrafficTrace trace);
 
+    /// Replay under a Trace-kind WorkloadSpec: the trace is clipped to
+    /// the spec's cycle window, rebased to cycle 0 and thinned to the
+    /// inflation fraction (see applyReplayWindow in traffic/dynamic.h);
+    /// with loop=1 the window repeats forever, each lap offset by the
+    /// window length.
+    TraceReplayer(const ColumnConfig &col, TrafficTrace trace,
+                  const WorkloadSpec &spec);
+
     void tick(Cycle now, PacketPool &pool,
               std::vector<InjectorQueue> &injectors,
               SimMetrics &metrics) override;
 
-    bool exhausted() const { return next_ >= trace_.size(); }
+    bool exhausted() const { return !loop_ && next_ >= trace_.size(); }
+    const TrafficTrace &trace() const { return trace_; }
 
-    /// Checkpointing: the replay cursor is the only mutable state.
+    /// Checkpointing: the replay cursor plus the loop lap counter.
     std::vector<std::uint64_t> packState() const override
     {
-        return {static_cast<std::uint64_t>(next_)};
+        return {static_cast<std::uint64_t>(next_), lap_};
     }
     void unpackState(const std::vector<std::uint64_t> &words) override
     {
-        TAQOS_ASSERT(words.size() == 1, "trace-replayer restore mismatch");
+        TAQOS_ASSERT(words.size() == 2, "trace-replayer restore mismatch");
         next_ = static_cast<std::size_t>(words[0]);
+        lap_ = words[1];
     }
 
   private:
     ColumnConfig col_;
     TrafficTrace trace_;
     std::size_t next_ = 0;
+    bool loop_ = false;
+    Cycle loopLen_ = 0; ///< lap offset (window length) when looping
+    std::uint64_t lap_ = 0;
 };
 
 } // namespace taqos

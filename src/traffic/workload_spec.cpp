@@ -1,0 +1,462 @@
+#include "traffic/workload_spec.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/options.h"
+
+namespace taqos {
+namespace {
+
+/// Canonical double formatting for name(): shortest form that still
+/// round-trips every value the CLIs and specs produce (12 significant
+/// digits; the cache key uses the raw bits, so nothing hinges on this).
+std::string
+fmtDouble(double v)
+{
+    return strFormat("%.12g", v);
+}
+
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    return bits;
+}
+
+bool
+parseDoubleTok(const std::string &tok, double &out)
+{
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(tok.c_str(), &end);
+    return end != tok.c_str() && *end == '\0';
+}
+
+bool
+parseU64Tok(const std::string &tok, std::uint64_t &out)
+{
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(tok.c_str(), &end, 10);
+    return end != tok.c_str() && *end == '\0';
+}
+
+bool
+parseBoolTok(const std::string &tok, bool &out)
+{
+    if (tok == "1" || tok == "true") {
+        out = true;
+        return true;
+    }
+    if (tok == "0" || tok == "false") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+void
+setErr(std::string *err, std::string msg)
+{
+    if (err != nullptr)
+        *err = std::move(msg);
+}
+
+std::string
+validKinds()
+{
+    return "steady bursty ramp trace churn";
+}
+
+} // namespace
+
+const char *
+workloadKindName(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::Steady: return "steady";
+      case WorkloadKind::Bursty: return "bursty";
+      case WorkloadKind::Ramp: return "ramp";
+      case WorkloadKind::Trace: return "trace";
+      case WorkloadKind::Churn: return "churn";
+    }
+    return "?";
+}
+
+std::optional<WorkloadKind>
+parseWorkloadKind(const std::string &name)
+{
+    const std::string n = strLower(strTrim(name));
+    if (n == "steady")
+        return WorkloadKind::Steady;
+    if (n == "bursty" || n == "burst" || n == "onoff")
+        return WorkloadKind::Bursty;
+    if (n == "ramp" || n == "diurnal")
+        return WorkloadKind::Ramp;
+    if (n == "trace" || n == "replay")
+        return WorkloadKind::Trace;
+    if (n == "churn")
+        return WorkloadKind::Churn;
+    return std::nullopt;
+}
+
+std::string
+WorkloadSpec::name() const
+{
+    switch (kind) {
+      case WorkloadKind::Steady:
+        return "steady";
+      case WorkloadKind::Bursty:
+        return strFormat("bursty:on=%s,off=%s,gain=%s",
+                         fmtDouble(burstOn).c_str(),
+                         fmtDouble(burstOff).c_str(),
+                         fmtDouble(burstGain).c_str());
+      case WorkloadKind::Ramp:
+        return strFormat("ramp:low=%s,high=%s,period=%llu",
+                         fmtDouble(rampLow).c_str(),
+                         fmtDouble(rampHigh).c_str(),
+                         static_cast<unsigned long long>(rampPeriod));
+      case WorkloadKind::Trace: {
+        std::string s = "trace:path=" + tracePath;
+        s += ",inflate=" + fmtDouble(inflate);
+        if (windowBegin != 0)
+            s += strFormat(",begin=%llu",
+                           static_cast<unsigned long long>(windowBegin));
+        if (windowEnd != kNoCycle)
+            s += strFormat(",end=%llu",
+                           static_cast<unsigned long long>(windowEnd));
+        if (traceLoop)
+            s += ",loop=1";
+        return s;
+      }
+      case WorkloadKind::Churn:
+        return strFormat("churn:frames=%d,maxvms=%d,attack=%d", churnFrames,
+                         churnMaxVms, churnAttack ? 1 : 0);
+    }
+    return "?";
+}
+
+std::optional<WorkloadSpec>
+WorkloadSpec::parse(const std::string &s, std::string *err)
+{
+    const std::string whole = strTrim(s);
+    if (whole.empty()) {
+        setErr(err, strFormat(
+                        "bad workload '%s': want kind or kind:k=v[,k=v...]",
+                        s.c_str()));
+        return std::nullopt;
+    }
+
+    const std::size_t colon = whole.find(':');
+    const std::string kindTok =
+        colon == std::string::npos ? whole : whole.substr(0, colon);
+    const auto kind = parseWorkloadKind(kindTok);
+    if (!kind.has_value()) {
+        setErr(err, strFormat("unknown workload kind '%s'; valid: %s",
+                              kindTok.c_str(), validKinds().c_str()));
+        return std::nullopt;
+    }
+
+    WorkloadSpec spec;
+    spec.kind = *kind;
+
+    const std::string rest =
+        colon == std::string::npos ? "" : whole.substr(colon + 1);
+    for (const auto &part : strSplit(rest, ',')) {
+        const std::string kv = strTrim(part);
+        if (kv.empty())
+            continue;
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos) {
+            setErr(err,
+                   strFormat("bad workload '%s': want kind or "
+                             "kind:k=v[,k=v...]",
+                             s.c_str()));
+            return std::nullopt;
+        }
+        const std::string key = strLower(strTrim(kv.substr(0, eq)));
+        const std::string val = strTrim(kv.substr(eq + 1));
+        bool known = true;
+        bool ok = true;
+        switch (spec.kind) {
+          case WorkloadKind::Bursty:
+            if (key == "on")
+                ok = parseDoubleTok(val, spec.burstOn);
+            else if (key == "off")
+                ok = parseDoubleTok(val, spec.burstOff);
+            else if (key == "gain")
+                ok = parseDoubleTok(val, spec.burstGain);
+            else
+                known = false;
+            break;
+          case WorkloadKind::Ramp:
+            if (key == "low")
+                ok = parseDoubleTok(val, spec.rampLow);
+            else if (key == "high")
+                ok = parseDoubleTok(val, spec.rampHigh);
+            else if (key == "period")
+                ok = parseU64Tok(val, spec.rampPeriod);
+            else
+                known = false;
+            break;
+          case WorkloadKind::Trace:
+            if (key == "path")
+                spec.tracePath = val;
+            else if (key == "inflate")
+                ok = parseDoubleTok(val, spec.inflate);
+            else if (key == "begin")
+                ok = parseU64Tok(val, spec.windowBegin);
+            else if (key == "end")
+                ok = parseU64Tok(val, spec.windowEnd);
+            else if (key == "loop")
+                ok = parseBoolTok(val, spec.traceLoop);
+            else
+                known = false;
+            break;
+          case WorkloadKind::Churn: {
+            std::uint64_t v = 0;
+            if (key == "frames") {
+                ok = parseU64Tok(val, v) && v >= 1;
+                spec.churnFrames = static_cast<int>(v);
+            } else if (key == "maxvms") {
+                ok = parseU64Tok(val, v) && v >= 1;
+                spec.churnMaxVms = static_cast<int>(v);
+            } else if (key == "attack") {
+                ok = parseBoolTok(val, spec.churnAttack);
+            } else {
+                known = false;
+            }
+            break;
+          }
+          case WorkloadKind::Steady:
+            known = false;
+            break;
+        }
+        if (!known) {
+            setErr(err,
+                   strFormat("unknown workload parameter '%s' for kind '%s'",
+                             key.c_str(), workloadKindName(spec.kind)));
+            return std::nullopt;
+        }
+        if (!ok) {
+            setErr(err, strFormat("bad workload parameter '%s=%s'",
+                                  key.c_str(), val.c_str()));
+            return std::nullopt;
+        }
+    }
+
+    // Semantic bounds, so every reachable WorkloadSpec is runnable.
+    std::string bad;
+    switch (spec.kind) {
+      case WorkloadKind::Bursty:
+        if (spec.burstOn <= 0.0 || spec.burstOn > 1.0)
+            bad = "on must be in (0, 1]";
+        else if (spec.burstOff <= 0.0 || spec.burstOff > 1.0)
+            bad = "off must be in (0, 1]";
+        else if (spec.burstGain <= 0.0)
+            bad = "gain must be > 0";
+        break;
+      case WorkloadKind::Ramp:
+        if (spec.rampLow < 0.0)
+            bad = "low must be >= 0";
+        else if (spec.rampHigh < spec.rampLow)
+            bad = "high must be >= low";
+        else if (spec.rampPeriod < 2)
+            bad = "period must be >= 2";
+        break;
+      case WorkloadKind::Trace:
+        if (spec.tracePath.empty())
+            bad = "path is required";
+        else if (!(spec.inflate > 0.0) || spec.inflate > 1.0)
+            bad = "inflate must be in (0, 1]";
+        else if (spec.windowEnd <= spec.windowBegin)
+            bad = "end must be > begin";
+        else if (spec.traceLoop && spec.windowEnd == kNoCycle)
+            bad = "loop=1 needs a finite end=";
+        break;
+      case WorkloadKind::Churn:
+      case WorkloadKind::Steady:
+        break;
+    }
+    if (!bad.empty()) {
+        setErr(err, strFormat("bad workload '%s': %s", s.c_str(),
+                              bad.c_str()));
+        return std::nullopt;
+    }
+    return spec;
+}
+
+void
+WorkloadSpec::appendKeyWords(std::vector<std::uint64_t> &words) const
+{
+    words.push_back(static_cast<std::uint64_t>(kind));
+    switch (kind) {
+      case WorkloadKind::Steady:
+        break;
+      case WorkloadKind::Bursty:
+        words.push_back(doubleBits(burstOn));
+        words.push_back(doubleBits(burstOff));
+        words.push_back(doubleBits(burstGain));
+        break;
+      case WorkloadKind::Ramp:
+        words.push_back(doubleBits(rampLow));
+        words.push_back(doubleBits(rampHigh));
+        words.push_back(rampPeriod);
+        break;
+      case WorkloadKind::Trace: {
+        // The path contributes content, not identity: hash its bytes so
+        // two specs replaying different files never share a key.
+        std::uint64_t h = 0xcbf29ce484222325ull;
+        for (unsigned char ch : tracePath)
+            h = (h ^ ch) * 0x100000001b3ull;
+        words.push_back(h);
+        words.push_back(doubleBits(inflate));
+        words.push_back(windowBegin);
+        words.push_back(windowEnd);
+        words.push_back(traceLoop ? 1 : 0);
+        break;
+      }
+      case WorkloadKind::Churn:
+        words.push_back(static_cast<std::uint64_t>(churnFrames));
+        words.push_back(static_cast<std::uint64_t>(churnMaxVms));
+        words.push_back(churnAttack ? 1 : 0);
+        break;
+    }
+}
+
+namespace {
+
+/// Shorthand validation shares parse()'s semantic checks: round the spec
+/// through its canonical name and surface any diagnosis as the one
+/// canonical option error.
+WorkloadSpec
+validatedOrDie(const WorkloadSpec &spec)
+{
+    std::string err;
+    const auto parsed = WorkloadSpec::parse(spec.name(), &err);
+    if (!parsed.has_value())
+        optionError(err);
+    return *parsed;
+}
+
+} // namespace
+
+std::vector<WorkloadSpec>
+workloadAxisFromOpts(const OptionMap &opts)
+{
+    std::vector<WorkloadSpec> out;
+
+    const std::string w = opts.get("workload", "");
+    for (const auto &part : strSplit(w, ';')) {
+        const std::string tok = strTrim(part);
+        if (tok.empty())
+            continue;
+        std::string err;
+        const auto spec = WorkloadSpec::parse(tok, &err);
+        if (!spec.has_value())
+            optionError(err);
+        out.push_back(*spec);
+    }
+
+    if (opts.has("trace")) {
+        WorkloadSpec t;
+        t.kind = WorkloadKind::Trace;
+        t.tracePath = opts.get("trace", "");
+        if (t.tracePath.empty())
+            optionError("bad trace '': want trace=FILE");
+        const std::string inflate = opts.get("inflate", "");
+        if (!inflate.empty() && !parseDoubleTok(inflate, t.inflate))
+            optionError(strFormat(
+                "bad inflate '%s': want a fraction in (0, 1]",
+                inflate.c_str()));
+        const std::string window = opts.get("window", "");
+        if (!window.empty()) {
+            const auto parts = strSplit(window, ':');
+            std::uint64_t b = 0;
+            std::uint64_t e = 0;
+            if (parts.size() != 2 || !parseU64Tok(strTrim(parts[0]), b) ||
+                !parseU64Tok(strTrim(parts[1]), e)) {
+                optionError(strFormat(
+                    "bad window '%s': want begin:end (cycles)",
+                    window.c_str()));
+            }
+            t.windowBegin = b;
+            t.windowEnd = e;
+        }
+        t.traceLoop = opts.getBool("loop", false);
+        out.push_back(validatedOrDie(t));
+    } else if (opts.has("inflate") || opts.has("window") ||
+               opts.has("loop")) {
+        optionError("inflate=/window=/loop= need trace=FILE");
+    }
+
+    if (opts.has("burst")) {
+        WorkloadSpec b;
+        b.kind = WorkloadKind::Bursty;
+        const std::string v = opts.get("burst", "");
+        if (v != "1") {
+            const auto parts = strSplit(v, ',');
+            if (parts.size() != 3 ||
+                !parseDoubleTok(strTrim(parts[0]), b.burstOn) ||
+                !parseDoubleTok(strTrim(parts[1]), b.burstOff) ||
+                !parseDoubleTok(strTrim(parts[2]), b.burstGain)) {
+                optionError(strFormat(
+                    "bad burst '%s': want on,off,gain or burst=1",
+                    v.c_str()));
+            }
+        }
+        out.push_back(validatedOrDie(b));
+    }
+
+    if (opts.has("churn")) {
+        WorkloadSpec c;
+        c.kind = WorkloadKind::Churn;
+        const std::string v = opts.get("churn", "");
+        if (v != "1") {
+            const auto parts = strSplit(v, ',');
+            std::uint64_t frames = 0;
+            bool ok = !parts.empty() && parts.size() <= 3 &&
+                      parseU64Tok(strTrim(parts[0]), frames) && frames >= 1;
+            if (ok)
+                c.churnFrames = static_cast<int>(frames);
+            if (ok && parts.size() >= 2) {
+                std::uint64_t maxVms = 0;
+                ok = parseU64Tok(strTrim(parts[1]), maxVms) && maxVms >= 1;
+                c.churnMaxVms = static_cast<int>(maxVms);
+            }
+            if (ok && parts.size() == 3)
+                ok = parseBoolTok(strTrim(parts[2]), c.churnAttack);
+            if (!ok) {
+                optionError(strFormat(
+                    "bad churn '%s': want frames[,maxvms[,attack]] or "
+                    "churn=1",
+                    v.c_str()));
+            }
+        }
+        out.push_back(validatedOrDie(c));
+    }
+
+    return out;
+}
+
+const char *
+workloadOptionsHelp()
+{
+    return "  workload=SPEC[;SPEC]  workload specs "
+           "(steady | bursty:on=,off=,gain= | ramp:low=,high=,period= |\n"
+           "                        trace:path=,... | "
+           "churn:frames=,maxvms=,attack=)\n"
+           "  trace=FILE            replay a recorded trace "
+           "(inflate=F window=b:e loop=1 refine it)\n"
+           "  burst=on,off,gain     ON/OFF Markov bursty shorthand "
+           "(burst=1 for defaults)\n"
+           "  churn=frames[,vms[,a]] tenant-churn shorthand "
+           "(churn=1 for defaults)\n";
+}
+
+} // namespace taqos

@@ -52,7 +52,9 @@ TEST(Trace, CsvRoundTrip)
     trace.append(TraceEntry{0, 3, 5, 4});
     trace.append(TraceEntry{7, 60, 0, 1});
     trace.append(TraceEntry{7, 12, 2, 4});
-    const TrafficTrace back = TrafficTrace::fromCsv(trace.toCsv());
+    const auto parsed = TrafficTrace::fromCsv(trace.toCsv());
+    ASSERT_TRUE(parsed.has_value());
+    const TrafficTrace &back = *parsed;
     ASSERT_EQ(back.size(), 3u);
     EXPECT_EQ(back.entries()[0].cycle, 0u);
     EXPECT_EQ(back.entries()[1].flow, 60);
@@ -123,9 +125,35 @@ TEST(Trace, ReplayerExhaustion)
 
 TEST(Trace, EmptyCsv)
 {
-    const TrafficTrace trace = TrafficTrace::fromCsv("cycle,flow,dst,size\n");
-    EXPECT_EQ(trace.size(), 0u);
-    EXPECT_EQ(trace.lastCycle(), 0u);
+    const auto trace = TrafficTrace::fromCsv("cycle,flow,dst,size\n");
+    ASSERT_TRUE(trace.has_value());
+    EXPECT_EQ(trace->size(), 0u);
+    EXPECT_EQ(trace->lastCycle(), 0u);
+}
+
+TEST(Trace, MalformedCsvIsDiagnosed)
+{
+    std::string err;
+    // Wrong field count.
+    EXPECT_FALSE(TrafficTrace::fromCsv("1,2,3\n", &err).has_value());
+    EXPECT_EQ(err, "trace csv line 1: want 'cycle,flow,dst,size', got "
+                   "'1,2,3'");
+    // Non-numeric field (the old parser silently atoi'd this to 0).
+    EXPECT_FALSE(
+        TrafficTrace::fromCsv("cycle,flow,dst,size\n5,x,0,1\n", &err)
+            .has_value());
+    EXPECT_EQ(err, "trace csv line 2: bad flow 'x'");
+    // Trailing garbage on a numeric field.
+    EXPECT_FALSE(TrafficTrace::fromCsv("5,1,0,1junk\n", &err).has_value());
+    EXPECT_EQ(err, "trace csv line 1: bad size '1junk'");
+    // Out-of-order cycles (the ctor would have asserted; fromCsv
+    // diagnoses instead).
+    EXPECT_FALSE(
+        TrafficTrace::fromCsv("9,1,0,1\n3,1,0,1\n", &err).has_value());
+    EXPECT_EQ(err, "trace csv line 2: cycle 3 out of order (after 9)");
+    // Zero-size packets are invalid.
+    EXPECT_FALSE(TrafficTrace::fromCsv("5,1,0,0\n", &err).has_value());
+    EXPECT_EQ(err, "trace csv line 1: bad size '0'");
 }
 
 } // namespace
